@@ -1,0 +1,11 @@
+"""Shared configuration of the benchmark harness.
+
+Each ``bench_*`` file regenerates one artifact of the paper's
+evaluation (see DESIGN.md's experiment index) while pytest-benchmark
+times the regeneration.  A reduced simulated duration keeps wall time
+reasonable; the reproduced metrics are duration-invariant (stationary
+workloads), which the test suite verifies separately.
+"""
+
+#: Simulated seconds used by the benchmark harness runs.
+BENCH_DURATION_S = 15.0

@@ -1,0 +1,45 @@
+"""Lock-step recovery across data-dependent branches, measured.
+
+The mechanism of Sec. III-B (after Dogan et al. [8]): replicated cores
+executing the same code on different data diverge at data-dependent
+branches; wrapping the divergent segment in SINC ... SDEC + SLEEP makes
+every participant wait for the slowest one, so they resume *in
+lock-step* and their instruction fetches merge into broadcasts again.
+
+This script runs the erosion inner loop (sliding-window minimum, the
+paper's first benchmark workload) on the cycle-accurate platform and
+measures the broadcast fraction with and without the recovery, plus the
+runtime cost of the extra instructions.
+
+Run with::
+
+    python examples/lockstep_branches.py
+"""
+
+from repro.kernels import characterize_window_min
+
+
+def main() -> None:
+    print("window-minimum kernel, 3 cores, cycle-accurate platform")
+    print(f"{'window':>7} {'mode':>9} {'IM broadcast':>13} "
+          f"{'alignment':>10} {'sync cost':>10}")
+    for window in (8, 16, 32, 64):
+        with_sync = characterize_window_min(cores=3, window=window,
+                                            outputs=48, with_sync=True)
+        without = characterize_window_min(cores=3, window=window,
+                                          outputs=48, with_sync=False)
+        assert with_sync.results == without.results, "functional mismatch"
+        print(f"{window:>7} {'SINC/SDEC':>9} "
+              f"{with_sync.im_broadcast_fraction * 100:>12.1f}% "
+              f"{with_sync.alignment:>10.2f} "
+              f"{with_sync.sync_runtime_overhead * 100:>9.2f}%")
+        print(f"{'':>7} {'none':>9} "
+              f"{without.im_broadcast_fraction * 100:>12.1f}% "
+              f"{without.alignment:>10.2f} {'-':>10}")
+    print("\nWider windows amortise the synchronization instructions:")
+    print("at filter-sized windows the runtime cost approaches the")
+    print("paper's 1.65 % while the broadcast fraction stays high.")
+
+
+if __name__ == "__main__":
+    main()

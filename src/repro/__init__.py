@@ -1,0 +1,29 @@
+"""repro — reproduction of Braojos et al., DATE 2014.
+
+"Hardware/Software Approach for Code Synchronization in Low-Power
+Multi-Core Sensor Nodes": a hybrid HW/SW synchronization mechanism
+(SINC/SDEC/SNOP/SLEEP instructions + a lightweight synchronizer unit)
+for multi-core wireless body sensor nodes, evaluated on three embedded
+ECG applications.
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — synchronization points, synchronizer unit,
+  protocol primitives (the paper's contribution).
+* :mod:`repro.isa` — 16-bit RISC ISA with the sync ISE; assembler,
+  disassembler, builder/linker.
+* :mod:`repro.hw` — cycle-level platform: cores, banked memories,
+  broadcasting crossbars, ATU, ADC, single-/multi-core systems.
+* :mod:`repro.power` — 90 nm-style VFS and component energy models.
+* :mod:`repro.signals` — synthetic multi-lead ECG (CSE substitute).
+* :mod:`repro.dsp` — benchmark DSP: morphological filtering, MMD
+  delineation, random-projection beat classification.
+* :mod:`repro.apps` — application graphs + the partition / insert /
+  map methodology.
+* :mod:`repro.sysc` — system-level (SystemC-analog) simulator.
+* :mod:`repro.eval` — experiment drivers for Table I, Fig. 6, Fig. 7.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

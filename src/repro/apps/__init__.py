@@ -1,0 +1,47 @@
+"""Application layer (system S18): phase graphs + mapping methodology."""
+
+from .benchmarks import (
+    FS,
+    MfOutput,
+    MmdOutput,
+    RpClassApp,
+    RpClassOutput,
+    rp_class,
+    run_rp_class,
+    run_three_lead_mf,
+    run_three_lead_mmd,
+    three_lead_mf,
+    three_lead_mmd,
+)
+from .mapping import (
+    CoreAssignment,
+    MappingError,
+    MappingPlan,
+    map_multicore,
+    map_singlecore,
+)
+from .phases import AppSpec, ChannelSpec, PhaseSpec, SectionSpec, Trigger
+
+__all__ = [
+    "AppSpec",
+    "ChannelSpec",
+    "CoreAssignment",
+    "FS",
+    "MappingError",
+    "MappingPlan",
+    "MfOutput",
+    "MmdOutput",
+    "PhaseSpec",
+    "RpClassApp",
+    "RpClassOutput",
+    "SectionSpec",
+    "Trigger",
+    "map_multicore",
+    "map_singlecore",
+    "rp_class",
+    "run_rp_class",
+    "run_three_lead_mf",
+    "run_three_lead_mmd",
+    "three_lead_mf",
+    "three_lead_mmd",
+]

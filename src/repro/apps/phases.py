@@ -1,0 +1,182 @@
+"""Application phases: the unit of the paper's partitioning step.
+
+Sec. III-B, step 1: "applications are divided into different phases,
+each executing on one core.  To exploit lock-step execution,
+application phases operating in parallel on different data streams
+should be assigned to different cores."
+
+A :class:`PhaseSpec` describes one phase's workload intensity (cycles
+and data-memory traffic per input sample), its static code footprint
+(used by the mapping step to place sections into IM banks and by the
+Table I *code overhead* row), its synchronization behaviour (runtime
+sync-instruction rate, lock-step alignment) and its activation trigger
+(streaming vs. activated per abnormal beat, as in RP-CLASS's
+delineation chain).
+
+Workload calibration.  The per-sample cycle counts are calibrated so
+the *single-core* required clocks reproduce Table I's "Min. Clock" row
+(2.3 / 3.4 / 3.3 MHz at 250 Hz); the split across phases follows the
+relative operation counts of the actual DSP implementations in
+:mod:`repro.dsp` (see ``ops_per_sample``).  Everything downstream
+(multi-core clocks, duty cycles, power, Fig. 6, Fig. 7) is computed,
+not fitted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Trigger(enum.Enum):
+    """When a phase consumes cycles."""
+
+    STREAMING = "streaming"      # active on every input sample
+    ON_ABNORMAL = "on_abnormal"  # activated per pathological beat
+
+
+@dataclass(frozen=True)
+class SectionSpec:
+    """One code section of a phase (a linker placement unit).
+
+    Attributes:
+        name: section name (unique within the application).
+        words: code size in 24-bit instruction words.
+    """
+
+    name: str
+    words: int
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One application phase (mapped to one core per replica).
+
+    Attributes:
+        name: phase name.
+        cycles_per_sample: execution cycles per input sample while
+            active (per replica).
+        dm_access_rate: data-memory accesses per executed cycle.
+        sections: code sections of this phase.
+        sync_code_words: synchronization instructions the insertion
+            step adds to this phase's code on the multi-core mapping.
+        sync_ops_per_sample: synchronization instructions *executed*
+            per sample per replica on the multi-core mapping.
+        replicas: parallel instances (e.g. one per ECG lead); replicas
+            run the same code and form a lock-step group.
+        lockstep_alignment: fraction of a replica group's co-active
+            cycles spent in lock-step (drives instruction broadcast);
+            data-dependent branches lower it, the paper's SINC/SDEC
+            recovery keeps it well above zero.
+        shared_read_fraction: fraction of data reads that target shared
+            constants (broadcast candidates when in lock-step).
+        trigger: activation model.
+        dm_words: data-memory footprint per replica, in 16-bit words.
+    """
+
+    name: str
+    cycles_per_sample: float
+    dm_access_rate: float
+    sections: tuple[SectionSpec, ...]
+    sync_code_words: int = 0
+    sync_ops_per_sample: float = 0.0
+    replicas: int = 1
+    lockstep_alignment: float = 0.0
+    shared_read_fraction: float = 0.0
+    trigger: Trigger = Trigger.STREAMING
+    dm_words: int = 0
+
+    @property
+    def code_words(self) -> int:
+        """Total code size across sections."""
+        return sum(section.words for section in self.sections)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent parameters."""
+        if self.cycles_per_sample < 0:
+            raise ValueError(f"{self.name}: negative cycle cost")
+        if not 0 <= self.lockstep_alignment <= 1:
+            raise ValueError(f"{self.name}: alignment outside [0, 1]")
+        if not 0 <= self.shared_read_fraction <= 1:
+            raise ValueError(f"{self.name}: shared fraction outside [0, 1]")
+        if self.replicas < 1:
+            raise ValueError(f"{self.name}: needs at least one replica")
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A producer-consumer relationship between phases (Sec. III-B).
+
+    Producers issue ``SINC``/``SDEC`` around each datum; the consumer
+    registers with ``SNOP`` and sleeps.  One synchronization point is
+    allocated per channel by the mapping step.
+
+    Attributes:
+        producers: producing phase names (replicas all produce).
+        consumer: consuming phase name.
+        handoffs_per_sample: how many producer-consumer exchanges
+            happen per input sample (1.0 for sample-rate streaming,
+            less for beat-rate hand-offs).
+    """
+
+    producers: tuple[str, ...]
+    consumer: str
+    handoffs_per_sample: float = 1.0
+
+
+@dataclass
+class AppSpec:
+    """A benchmark application: phases + channels + metadata.
+
+    Attributes:
+        name: short benchmark name (e.g. ``3L-MF``).
+        fs: input sampling rate in Hz.
+        phases: all phases, in pipeline order.
+        channels: producer-consumer relationships.
+        runtime_words: size of the shared runtime/boot code section.
+        beat_span_samples: samples of work one triggered activation
+            processes (one beat window).
+        description: one-line description for reports.
+    """
+
+    name: str
+    fs: float
+    phases: list[PhaseSpec]
+    channels: list[ChannelSpec] = field(default_factory=list)
+    runtime_words: int = 300
+    beat_span_samples: int = 208
+    description: str = ""
+
+    def phase(self, name: str) -> PhaseSpec:
+        """Look up a phase by name."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(f"no phase named {name!r} in {self.name}")
+
+    def validate(self) -> None:
+        """Check phase parameters and channel references."""
+        names = [phase.name for phase in self.phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate phase names")
+        for phase in self.phases:
+            phase.validate()
+        for channel in self.channels:
+            for producer in channel.producers:
+                self.phase(producer)
+            self.phase(channel.consumer)
+
+    @property
+    def streaming_cycles_per_sample(self) -> float:
+        """Always-on work per input sample (all replicas)."""
+        return sum(phase.cycles_per_sample * phase.replicas
+                   for phase in self.phases
+                   if phase.trigger is Trigger.STREAMING)
+
+    @property
+    def triggered_cycles_per_beat(self) -> float:
+        """Work one abnormal beat triggers (all replicas)."""
+        per_sample = sum(phase.cycles_per_sample * phase.replicas
+                         for phase in self.phases
+                         if phase.trigger is Trigger.ON_ABNORMAL)
+        return per_sample * self.beat_span_samples

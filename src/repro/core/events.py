@@ -1,0 +1,114 @@
+"""Synchronization events, wake latches and interrupt lines.
+
+The paper's ``SLEEP`` instruction "requests the synchronizer to
+clock-gate the issuing core until the next synchronization event
+happens".  Two kinds of events exist:
+
+* a synchronization point the core is registered at fires, or
+* an interrupt arrives from a source the core subscribed to through the
+  memory-mapped subscription register (Sec. III-B: ADC data-ready).
+
+Each core owns a one-slot :class:`EventLatch`.  An event sets the
+latch; ``SLEEP`` *consumes* a pending latch instead of gating the core.
+The latch closes the classic race in which the last core of a lock-step
+region issues ``SDEC`` (zeroing the counter and firing the event toward
+itself) and only then executes ``SLEEP``: without the latch that core
+would sleep forever, with it the ``SLEEP`` falls through immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class EventLatch:
+    """One-slot wake-event latch, as held per core by the synchronizer."""
+
+    def __init__(self) -> None:
+        self._pending = False
+
+    @property
+    def pending(self) -> bool:
+        """True if an event arrived and has not been consumed yet."""
+        return self._pending
+
+    def set(self) -> None:
+        """Record a synchronization event (idempotent)."""
+        self._pending = True
+
+    def consume(self) -> bool:
+        """Clear the latch; returns True if an event was pending."""
+        was_pending = self._pending
+        self._pending = False
+        return was_pending
+
+    def reset(self) -> None:
+        """Clear the latch without reporting (power-on reset)."""
+        self._pending = False
+
+
+@dataclass
+class InterruptController:
+    """Interrupt subscriptions and pending-line bookkeeping.
+
+    The synchronizer forwards peripheral interrupts (e.g. ADC
+    data-ready) to subscribed cores.  Subscription is a per-core
+    bitmask written through the memory-mapped ``REG_INT_SUBSCRIBE``
+    register; it is sticky, so a streaming consumer is woken for every
+    new sample until it unsubscribes.
+
+    Attributes:
+        num_cores: number of cores with a subscription mask.
+        num_lines: number of interrupt lines.
+    """
+
+    num_cores: int
+    num_lines: int = 16
+    _subscriptions: list[int] = field(default_factory=list)
+    _pending_lines: int = 0
+    raised_count: int = 0
+    delivered_count: int = 0
+
+    def __post_init__(self) -> None:
+        self._subscriptions = [0] * self.num_cores
+
+    def subscribe(self, core: int, mask: int) -> None:
+        """Set ``core``'s subscription bitmask (overwrites)."""
+        self._check_core(core)
+        self._subscriptions[core] = mask & ((1 << self.num_lines) - 1)
+
+    def subscription(self, core: int) -> int:
+        """Current subscription bitmask of ``core``."""
+        self._check_core(core)
+        return self._subscriptions[core]
+
+    @property
+    def pending_lines(self) -> int:
+        """Bitmask of lines raised since the last :meth:`collect`."""
+        return self._pending_lines
+
+    def raise_line(self, line: int) -> None:
+        """Signal interrupt ``line`` (level is latched until collected)."""
+        if not 0 <= line < self.num_lines:
+            raise ValueError(f"interrupt line {line} out of range")
+        self._pending_lines |= 1 << line
+        self.raised_count += 1
+
+    def collect(self) -> tuple[int, ...]:
+        """Return cores to wake for pending lines and clear the lines.
+
+        Called by the synchronizer at the end of each cycle; a core is
+        woken if any pending line intersects its subscription mask.
+        """
+        if not self._pending_lines:
+            return ()
+        lines = self._pending_lines
+        self._pending_lines = 0
+        woken = tuple(core for core in range(self.num_cores)
+                      if self._subscriptions[core] & lines)
+        self.delivered_count += len(woken)
+        return woken
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range")

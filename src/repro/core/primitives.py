@@ -1,0 +1,194 @@
+"""Protocol recipes built from the paper's synchronization primitives.
+
+The paper inserts raw ``SINC``/``SDEC``/``SNOP``/``SLEEP`` instructions
+by hand (Sec. III-B, step 2).  This module captures the three resulting
+protocols as small reusable objects, so that the system-level simulator
+and application code express intent (*produce*, *consume*, *enter a
+lock-step region*, *barrier*) while still issuing exactly the paper's
+instruction sequences underneath:
+
+* :class:`ProducerConsumerChannel` — Fig. 3-a: producers ``SINC`` when
+  they begin producing and ``SDEC`` when data is ready; consumers
+  ``SNOP`` + ``SLEEP`` until the counter returns to zero.
+* :class:`LockstepRegion` — Fig. 3-b: cores entering a data-dependent
+  branch ``SINC`` in the same cycle; each issues ``SDEC`` + ``SLEEP``
+  at the join and all resume together.
+* :class:`SenseBarrier` — a reusable rendezvous composed only of the
+  paper's instructions, using two alternating points (each core
+  pre-registers on the next epoch's point with ``SINC`` before waiting
+  on the current one with ``SDEC`` + ``SLEEP``).
+
+All recipes operate on a :class:`SyncDomain`, a behavioural wrapper
+around :class:`~repro.core.synchronizer.Synchronizer` in which every
+call is its own cycle (requests submitted together via
+:meth:`SyncDomain.step` are merged, as in hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .syncpoint import SyncOp
+from .synchronizer import Synchronizer
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one behavioural cycle.
+
+    Attributes:
+        woken: cores resumed from clock-gating during this cycle.
+        gated: cores that entered clock-gating during this cycle.
+    """
+
+    woken: tuple[int, ...]
+    gated: tuple[int, ...]
+
+
+class SyncDomain:
+    """Behavioral clock domain around a :class:`Synchronizer`.
+
+    Each high-level call (``sinc``, ``sdec``, ``snop``, ``sleep``)
+    executes in its own cycle.  To model same-cycle merging, pass
+    several operations to :meth:`step` at once.
+    """
+
+    def __init__(self, num_cores: int, num_points: int = 64,
+                 strict: bool = True) -> None:
+        self.synchronizer = Synchronizer(
+            num_cores=num_cores, num_points=num_points, strict=strict)
+        self.num_cores = num_cores
+
+    def step(self, ops: list[tuple[int, SyncOp | None, int]]) -> StepResult:
+        """Execute one cycle containing the given operations.
+
+        Each element is ``(core, op, point)``; ``op`` may be ``None``
+        to express ``SLEEP`` (``point`` is then ignored).
+        """
+        gated: list[int] = []
+        for core, op, point in ops:
+            if op is None:
+                if self.synchronizer.sleep(core):
+                    gated.append(core)
+            else:
+                self.synchronizer.submit(core, op, point)
+        woken = self.synchronizer.end_cycle()
+        return StepResult(woken=woken, gated=tuple(gated))
+
+    def sinc(self, core: int, point: int) -> StepResult:
+        """One cycle containing a single ``SINC``."""
+        return self.step([(core, SyncOp.SINC, point)])
+
+    def sdec(self, core: int, point: int) -> StepResult:
+        """One cycle containing a single ``SDEC``."""
+        return self.step([(core, SyncOp.SDEC, point)])
+
+    def snop(self, core: int, point: int) -> StepResult:
+        """One cycle containing a single ``SNOP``."""
+        return self.step([(core, SyncOp.SNOP, point)])
+
+    def sleep(self, core: int) -> bool:
+        """One cycle containing a single ``SLEEP``; True if gated."""
+        return self.step([(core, None, 0)]).gated == (core,)
+
+    def is_gated(self, core: int) -> bool:
+        """True if ``core`` is clock-gated."""
+        return self.synchronizer.is_gated(core)
+
+
+class ProducerConsumerChannel:
+    """Fig. 3-a protocol: N producers feeding registered consumers.
+
+    Producers call :meth:`begin_production` when they start computing a
+    datum and :meth:`complete_production` when it is ready.  Consumers
+    call :meth:`register` (``SNOP``) and then :meth:`wait` (``SLEEP``);
+    they resume when every registered producer has completed.
+    """
+
+    def __init__(self, domain: SyncDomain, point: int) -> None:
+        self.domain = domain
+        self.point = point
+
+    def begin_production(self, core: int) -> StepResult:
+        """Producer registers and raises the outstanding-data counter."""
+        return self.domain.sinc(core, self.point)
+
+    def complete_production(self, core: int) -> StepResult:
+        """Producer signals its datum is ready."""
+        return self.domain.sdec(core, self.point)
+
+    def register(self, core: int) -> StepResult:
+        """Consumer registers its identification flag."""
+        return self.domain.snop(core, self.point)
+
+    def wait(self, core: int) -> bool:
+        """Consumer sleeps; returns True if it actually gated."""
+        return self.domain.sleep(core)
+
+
+class LockstepRegion:
+    """Fig. 3-b protocol: lock-step recovery across data-dependent code.
+
+    All participating cores *enter* in the same cycle (they run in
+    lock-step up to the branch, so their ``SINC`` requests coincide and
+    are merged by the synchronizer).  Each core *leaves* independently
+    with ``SDEC`` + ``SLEEP``; when the last one leaves, the counter
+    returns to zero and every participant resumes in lock-step.
+    """
+
+    def __init__(self, domain: SyncDomain, point: int) -> None:
+        self.domain = domain
+        self.point = point
+
+    def enter(self, cores: list[int]) -> StepResult:
+        """All cores issue ``SINC`` in one (merged) cycle."""
+        return self.domain.step(
+            [(core, SyncOp.SINC, self.point) for core in cores])
+
+    def leave(self, core: int) -> tuple[StepResult, bool]:
+        """``SDEC`` then ``SLEEP``; returns (sdec result, gated?)."""
+        result = self.domain.sdec(core, self.point)
+        gated = self.domain.sleep(core)
+        return result, gated
+
+
+class SenseBarrier:
+    """Reusable all-core rendezvous built from the paper's primitives.
+
+    Uses two synchronization points in alternation.  Every participant
+    must call :meth:`prime` once before the first epoch; afterwards, a
+    call to :meth:`arrive` (a) pre-registers the core on the *next*
+    epoch's point with ``SINC`` and (b) waits on the current point with
+    ``SDEC`` + ``SLEEP``.  The last arriving core zeroes the counter
+    and wakes everyone.
+    """
+
+    def __init__(self, domain: SyncDomain, point_even: int,
+                 point_odd: int, parties: list[int]) -> None:
+        if point_even == point_odd:
+            raise ValueError("a sense barrier needs two distinct points")
+        self.domain = domain
+        self.points = (point_even, point_odd)
+        self.parties = list(parties)
+        self._epoch: dict[int, int] = {core: 0 for core in parties}
+
+    def prime(self) -> None:
+        """Initial registration of every participant on point 0."""
+        self.domain.step([
+            (core, SyncOp.SINC, self.points[0]) for core in self.parties])
+
+    def arrive(self, core: int) -> bool:
+        """One barrier arrival; returns True if the core had to sleep."""
+        if core not in self._epoch:
+            raise ValueError(f"core {core} is not a barrier party")
+        epoch = self._epoch[core]
+        current = self.points[epoch % 2]
+        upcoming = self.points[(epoch + 1) % 2]
+        self._epoch[core] = epoch + 1
+        self.domain.sinc(core, upcoming)
+        self.domain.sdec(core, current)
+        return self.domain.sleep(core)
+
+    def everyone_released(self) -> bool:
+        """True if no participant is currently gated."""
+        return not any(self.domain.is_gated(core) for core in self.parties)

@@ -1,0 +1,55 @@
+"""Experiment drivers (system S21): Table I, Fig. 6, Fig. 7, ablations."""
+
+from .ablations import (
+    AblationResult,
+    ablate_broadcast,
+    ablate_lockstep_recovery,
+    ablate_sleep,
+    ablate_vfs,
+    run_all_ablations,
+)
+from .fig6 import Fig6Group, run_fig6, run_group
+from .fig7 import Fig7Point, run_fig7
+from .report import (
+    render_ablations,
+    render_fig6,
+    render_fig7,
+    render_table1,
+)
+from .runconfig import (
+    BenchmarkCase,
+    DURATION_S,
+    FIG7_RATIOS,
+    TABLE1_PATHOLOGICAL_RATIO,
+    benchmark_cases,
+    rp_case,
+)
+from .table1 import PAPER_TABLE1, Table1Column, run_case, run_table1
+
+__all__ = [
+    "AblationResult",
+    "BenchmarkCase",
+    "DURATION_S",
+    "FIG7_RATIOS",
+    "Fig6Group",
+    "Fig7Point",
+    "PAPER_TABLE1",
+    "TABLE1_PATHOLOGICAL_RATIO",
+    "Table1Column",
+    "ablate_broadcast",
+    "ablate_lockstep_recovery",
+    "ablate_sleep",
+    "ablate_vfs",
+    "benchmark_cases",
+    "render_ablations",
+    "render_fig6",
+    "render_fig7",
+    "render_table1",
+    "rp_case",
+    "run_all_ablations",
+    "run_case",
+    "run_fig6",
+    "run_fig7",
+    "run_group",
+    "run_table1",
+]

@@ -1,0 +1,57 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.eval table1
+    python -m repro.eval fig6
+    python -m repro.eval fig7
+    python -m repro.eval ablations
+    python -m repro.eval all
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .ablations import run_all_ablations
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .report import (
+    render_ablations,
+    render_fig6,
+    render_fig7,
+    render_table1,
+)
+from .runconfig import DURATION_S
+from .table1 import run_table1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiment and print its report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument(
+        "experiment",
+        choices=("table1", "fig6", "fig7", "ablations", "all"),
+        help="which artifact to regenerate")
+    parser.add_argument(
+        "--duration", type=float, default=DURATION_S,
+        help="simulated seconds (default: the paper's 60 s)")
+    args = parser.parse_args(argv)
+
+    sections: list[str] = []
+    if args.experiment in ("table1", "all"):
+        sections.append(render_table1(run_table1(args.duration)))
+    if args.experiment in ("fig6", "all"):
+        sections.append(render_fig6(run_fig6(args.duration)))
+    if args.experiment in ("fig7", "all"):
+        sections.append(render_fig7(run_fig7(duration_s=args.duration)))
+    if args.experiment in ("ablations", "all"):
+        sections.append(render_ablations(run_all_ablations(args.duration)))
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

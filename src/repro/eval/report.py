@@ -1,0 +1,129 @@
+"""Text rendering of the reproduced tables and figures.
+
+Every experiment driver returns structured results; this module turns
+them into the same rows/series the paper reports, with the paper's
+numbers alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from ..power.energy import CATEGORIES
+from .ablations import AblationResult
+from .fig6 import Fig6Group
+from .fig7 import Fig7Point
+from .table1 import PAPER_TABLE1, Table1Column
+
+_TABLE1_ROWS: tuple[tuple[str, str, str], ...] = (
+    # (row label, dict key or pair, format)
+    ("Active Cores", "active_cores", "int"),
+    ("Active IM banks", "sc_im_banks/mc_im_banks", "int"),
+    ("Active DM banks", "sc_dm_banks/mc_dm_banks", "int"),
+    ("IM Broadcast (%)", "im_broadcast", "pct"),
+    ("DM Broadcast (%)", "dm_broadcast", "pct"),
+    ("Min. Clock (MHz)", "sc_clock/mc_clock", "f1"),
+    ("Min. Voltage (V)", "sc_voltage/mc_voltage", "f2"),
+    ("Code Overhead (%)", "code_overhead", "pct"),
+    ("Run-time Overhead (%)", "runtime_overhead", "pct"),
+    ("Avg. Power (uW)", "sc_power/mc_power", "f1"),
+    ("Saving (%)", "saving", "pct"),
+)
+
+
+def _fmt(value: float, kind: str) -> str:
+    if kind == "int":
+        return f"{int(round(value))}"
+    if kind == "pct":
+        return f"{value * 100:.2f}"
+    if kind == "f1":
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def render_table1(columns: list[Table1Column],
+                  include_paper: bool = True) -> str:
+    """Render Table I in the paper's layout (SC and MC per benchmark)."""
+    header = ["Metric".ljust(24)]
+    for column in columns:
+        header.append(f"{column.benchmark} SC".rjust(12))
+        header.append(f"{column.benchmark} MC".rjust(12))
+    lines = ["  ".join(header), "-" * len("  ".join(header))]
+    data = {column.benchmark: column.as_dict() for column in columns}
+    for label, key, kind in _TABLE1_ROWS:
+        row = [label.ljust(24)]
+        for column in columns:
+            values = data[column.benchmark]
+            if "/" in key:
+                sc_key, mc_key = key.split("/")
+                row.append(_fmt(values[sc_key], kind).rjust(12))
+                row.append(_fmt(values[mc_key], kind).rjust(12))
+            else:
+                shared = ("-", _fmt(values[key], kind))
+                if key == "active_cores":
+                    shared = ("1", _fmt(values[key], kind))
+                row.append(shared[0].rjust(12))
+                row.append(shared[1].rjust(12))
+        lines.append("  ".join(row))
+    if include_paper:
+        lines.append("")
+        lines.append("Paper Table I (MC power / saving): " + ", ".join(
+            f"{name}: {vals['mc_power']:.1f} uW / "
+            f"{vals['saving'] * 100:.1f}%"
+            for name, vals in PAPER_TABLE1.items()))
+    return "\n".join(lines)
+
+
+def render_fig6(groups: list[Fig6Group]) -> str:
+    """Render Figure 6 as stacked numeric columns per configuration."""
+    lines = ["Figure 6: power decomposition (uW)"]
+    for group in groups:
+        lines.append(f"\n== {group.benchmark}")
+        lines.append(
+            "  component       " + "SC".rjust(9)
+            + "MC(no sync)".rjust(13) + "MC(sync)".rjust(10))
+        for name in CATEGORIES:
+            lines.append(
+                f"  {name:<15}"
+                + f"{group.single.categories.get(name, 0.0):9.2f}"
+                + f"{group.multi_no_sync.categories.get(name, 0.0):13.2f}"
+                + f"{group.multi_sync.categories.get(name, 0.0):10.2f}")
+        lines.append(
+            "  total          "
+            + f"{group.single.total_uw:9.2f}"
+            + f"{group.multi_no_sync.total_uw:13.2f}"
+            + f"{group.multi_sync.total_uw:10.2f}")
+        sign = group.no_sync_vs_single
+        verdict = "lower" if sign < -0.02 else \
+            "higher" if sign > 0.02 else "comparable"
+        lines.append(f"  MC without sync is {verdict} than SC "
+                     f"({sign * 100:+.1f} %)")
+    return "\n".join(lines)
+
+
+def render_fig7(points: list[Fig7Point]) -> str:
+    """Render Figure 7 as a table of the two curves + reduction."""
+    lines = [
+        "Figure 7: RP-CLASS power vs. proportion of abnormal heartbeats",
+        "  ratio    SC (uW)   SC f/V         MC (uW)   reduction",
+    ]
+    for point in points:
+        sc_op = point.single.operating_point
+        lines.append(
+            f"  {point.ratio * 100:4.0f} %"
+            f"{point.sc_power_uw:10.1f}"
+            f"   {sc_op.frequency_mhz:4.2f} MHz/{sc_op.voltage:.2f} V"
+            f"{point.mc_power_uw:10.1f}"
+            f"{point.reduction * 100:10.1f} %")
+    lines.append("Paper: 17 % reduction at 0 %, growing to ~38 % "
+                 "in the best case.")
+    return "\n".join(lines)
+
+
+def render_ablations(results: list[AblationResult]) -> str:
+    """Render the ablation outcomes."""
+    lines = ["Ablations: power with / without each mechanism (uW)"]
+    for result in results:
+        lines.append(
+            f"  {result.name}  {result.description:<52} "
+            f"{result.with_feature_uw:7.1f} /{result.without_feature_uw:7.1f}"
+            f"   (+{result.penalty_fraction * 100:.1f} % without)")
+    return "\n".join(lines)

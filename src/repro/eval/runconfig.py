@@ -1,0 +1,65 @@
+"""Shared experiment configuration (Sec. IV of the paper).
+
+All experiments simulate 60 s of multi-lead ECG at 250 Hz: a healthy
+CSE-like subject for 3L-MF and 3L-MMD, and a record with a configurable
+fraction of uniformly distributed pathological beats for RP-CLASS
+(Table I uses 20 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps import AppSpec, rp_class, three_lead_mf, three_lead_mmd
+from ..sysc.engine import BeatEvent, uniform_schedule
+
+#: Simulated time span (Sec. IV-C: "60 seconds for all the experiments").
+DURATION_S = 60.0
+
+#: Sampling rate of the synthetic CSE-substitute records.
+FS = 250.0
+
+#: Mean heart rate of the synthetic subject.
+HEART_RATE_BPM = 72.0
+
+#: Pathological-beat ratio of the Table I RP-CLASS run (Sec. IV-D).
+TABLE1_PATHOLOGICAL_RATIO = 0.20
+
+#: Ratios swept by Fig. 7 (Sec. V-C).
+FIG7_RATIOS = (0.0, 0.10, 0.20, 0.25, 0.33, 0.50, 1.00)
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One benchmark application plus its input schedule."""
+
+    app: AppSpec
+    schedule: list[BeatEvent]
+    pathological_ratio: float
+
+
+def benchmark_cases(duration_s: float = DURATION_S) -> list[BenchmarkCase]:
+    """The three Table I benchmark cases, in paper order."""
+    healthy = uniform_schedule(duration_s, FS, bpm=HEART_RATE_BPM,
+                               abnormal_ratio=0.0)
+    pathological = uniform_schedule(
+        duration_s, FS, bpm=HEART_RATE_BPM,
+        abnormal_ratio=TABLE1_PATHOLOGICAL_RATIO)
+    return [
+        BenchmarkCase(app=three_lead_mf(), schedule=list(healthy),
+                      pathological_ratio=0.0),
+        BenchmarkCase(app=three_lead_mmd(), schedule=list(healthy),
+                      pathological_ratio=0.0),
+        BenchmarkCase(app=rp_class(TABLE1_PATHOLOGICAL_RATIO),
+                      schedule=list(pathological),
+                      pathological_ratio=TABLE1_PATHOLOGICAL_RATIO),
+    ]
+
+
+def rp_case(ratio: float, duration_s: float = DURATION_S) -> BenchmarkCase:
+    """An RP-CLASS case at an arbitrary pathological ratio (Fig. 7)."""
+    return BenchmarkCase(
+        app=rp_class(ratio),
+        schedule=uniform_schedule(duration_s, FS, bpm=HEART_RATE_BPM,
+                                  abnormal_ratio=ratio),
+        pathological_ratio=ratio)

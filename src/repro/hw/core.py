@@ -1,0 +1,305 @@
+"""Cycle-level model of the 16-bit RISC computing core.
+
+Sec. IV-A: "Each computing core consists of a 16-bits RISC architecture
+featuring a three-stages pipeline with forwarding paths.  Their
+instruction set has been extended to support the proposed
+synchronization technique."
+
+The model is *cycle-approximate*: instructions execute atomically but
+are charged their pipeline timing — one cycle for ALU/memory (the
+crossbar is combinational), two for multiplies, plus one flush cycle
+for taken branches and jumps.  Full forwarding means no data hazards.
+Memory-bank conflicts surface as stalls imposed by the platform, not by
+this class.
+
+The core communicates with the platform through :class:`Effect` values
+returned by :meth:`RiscCore.execute`; the platform performs arbitration
+and calls back :meth:`RiscCore.complete_load` / the sync interfaces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.syncpoint import SyncOp
+from ..isa.encoding import Instruction
+from ..isa.spec import Op, to_signed16, to_u16
+
+
+class EffectKind(enum.Enum):
+    """What an executed instruction asks of the platform."""
+
+    NONE = "none"
+    LOAD = "load"
+    STORE = "store"
+    SYNC = "sync"
+    SLEEP = "sleep"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Platform-visible side effect of one instruction.
+
+    Attributes:
+        kind: effect category.
+        address: logical DM address (LOAD/STORE).
+        value: store data (STORE).
+        rd: destination register (LOAD).
+        sync_op: which sync instruction was issued (SYNC).
+        sync_point: sync-point literal (SYNC).
+    """
+
+    kind: EffectKind
+    address: int = 0
+    value: int = 0
+    rd: int = 0
+    sync_op: SyncOp | None = None
+    sync_point: int = 0
+
+
+_NO_EFFECT = Effect(EffectKind.NONE)
+
+_SYNC_OPS = {
+    Op.SINC: SyncOp.SINC,
+    Op.SDEC: SyncOp.SDEC,
+    Op.SNOP: SyncOp.SNOP,
+}
+
+
+@dataclass
+class CoreStats:
+    """Per-core activity counters (inputs to the power model).
+
+    Attributes:
+        instructions: instructions retired.
+        active_cycles: cycles with the clock running (issue + stall +
+            multi-cycle busy).
+        gated_cycles: cycles spent clock-gated by the synchronizer.
+        halted_cycles: cycles after ``halt``.
+        fetch_stalls: cycles lost to IM bank conflicts.
+        mem_stalls: cycles lost to DM bank conflicts.
+        busy_cycles: extra cycles of multi-cycle instructions and
+            branch flushes.
+        sync_issued: synchronization-ISE instructions retired
+            (including ``sleep``).
+        loads: data-memory loads retired.
+        stores: data-memory stores retired.
+        taken_branches: taken branches and jumps.
+    """
+
+    instructions: int = 0
+    active_cycles: int = 0
+    gated_cycles: int = 0
+    halted_cycles: int = 0
+    fetch_stalls: int = 0
+    mem_stalls: int = 0
+    busy_cycles: int = 0
+    sync_issued: int = 0
+    loads: int = 0
+    stores: int = 0
+    taken_branches: int = 0
+
+
+class RiscCore:
+    """One computing core.
+
+    The platform drives the core with this per-cycle contract:
+
+    1. if ``halted``/``gated`` — idle; account the cycle;
+    2. if ``busy_cycles_left`` — burn one busy cycle;
+    3. if a load/store is pending — re-present it to the crossbar;
+    4. otherwise fetch at ``pc`` (subject to IM arbitration) and call
+       :meth:`execute`.
+    """
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self.regs = [0] * 8
+        self.pc = 0
+        self.halted = False
+        self.gated = False
+        self.busy_cycles_left = 0
+        self.pending_effect: Effect | None = None
+        self.stats = CoreStats()
+
+    # ------------------------------------------------------------------
+    # Register file
+    # ------------------------------------------------------------------
+
+    def read_reg(self, index: int) -> int:
+        """Read a register (r0 reads as zero)."""
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        """Write a register (writes to r0 are discarded)."""
+        if index != 0:
+            self.regs[index] = to_u16(value)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, instr: Instruction) -> Effect:
+        """Execute one fetched instruction; returns its platform effect.
+
+        Updates ``pc`` and timing state.  For loads/stores the returned
+        effect must be granted by the platform (possibly after stalls)
+        before the core may fetch again.
+        """
+        self.stats.instructions += 1
+        op = instr.op
+        next_pc = self.pc + 1
+        effect = _NO_EFFECT
+
+        if op is Op.ADD:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) + self.read_reg(instr.rb))
+        elif op is Op.SUB:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) - self.read_reg(instr.rb))
+        elif op is Op.AND:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) & self.read_reg(instr.rb))
+        elif op is Op.OR:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) | self.read_reg(instr.rb))
+        elif op is Op.XOR:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) ^ self.read_reg(instr.rb))
+        elif op is Op.SLL:
+            shift = self.read_reg(instr.rb) & 0xF
+            self.write_reg(instr.rd, self.read_reg(instr.ra) << shift)
+        elif op is Op.SRL:
+            shift = self.read_reg(instr.rb) & 0xF
+            self.write_reg(instr.rd, self.read_reg(instr.ra) >> shift)
+        elif op is Op.SRA:
+            shift = self.read_reg(instr.rb) & 0xF
+            self.write_reg(instr.rd,
+                           to_signed16(self.read_reg(instr.ra)) >> shift)
+        elif op is Op.SLT:
+            self.write_reg(instr.rd,
+                           int(to_signed16(self.read_reg(instr.ra))
+                               < to_signed16(self.read_reg(instr.rb))))
+        elif op is Op.SLTU:
+            self.write_reg(instr.rd,
+                           int(self.read_reg(instr.ra)
+                               < self.read_reg(instr.rb)))
+        elif op is Op.MUL:
+            product = (to_signed16(self.read_reg(instr.ra))
+                       * to_signed16(self.read_reg(instr.rb)))
+            self.write_reg(instr.rd, product)
+            self.busy_cycles_left += 1
+        elif op is Op.MULH:
+            product = (to_signed16(self.read_reg(instr.ra))
+                       * to_signed16(self.read_reg(instr.rb)))
+            self.write_reg(instr.rd, product >> 16)
+            self.busy_cycles_left += 1
+        elif op is Op.ADDI:
+            self.write_reg(instr.rd, self.read_reg(instr.ra) + instr.imm)
+        elif op is Op.ANDI:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) & to_u16(instr.imm))
+        elif op is Op.ORI:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) | to_u16(instr.imm))
+        elif op is Op.XORI:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) ^ to_u16(instr.imm))
+        elif op is Op.SLLI:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) << (instr.imm & 0xF))
+        elif op is Op.SRLI:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.ra) >> (instr.imm & 0xF))
+        elif op is Op.SRAI:
+            self.write_reg(instr.rd,
+                           to_signed16(self.read_reg(instr.ra))
+                           >> (instr.imm & 0xF))
+        elif op is Op.SLTI:
+            self.write_reg(instr.rd,
+                           int(to_signed16(self.read_reg(instr.ra))
+                               < instr.imm))
+        elif op is Op.LUI:
+            self.write_reg(instr.rd, (instr.imm & 0xFF) << 8)
+        elif op is Op.LW:
+            address = to_u16(self.read_reg(instr.ra) + instr.imm)
+            effect = Effect(EffectKind.LOAD, address=address, rd=instr.rd)
+            self.stats.loads += 1
+        elif op is Op.SW:
+            address = to_u16(self.read_reg(instr.ra) + instr.imm)
+            effect = Effect(EffectKind.STORE, address=address,
+                            value=self.read_reg(instr.rb))
+            self.stats.stores += 1
+        elif op is Op.BEQ:
+            if self.read_reg(instr.ra) == self.read_reg(instr.rb):
+                next_pc = self._take_branch(instr)
+        elif op is Op.BNE:
+            if self.read_reg(instr.ra) != self.read_reg(instr.rb):
+                next_pc = self._take_branch(instr)
+        elif op is Op.BLT:
+            if (to_signed16(self.read_reg(instr.ra))
+                    < to_signed16(self.read_reg(instr.rb))):
+                next_pc = self._take_branch(instr)
+        elif op is Op.BGE:
+            if (to_signed16(self.read_reg(instr.ra))
+                    >= to_signed16(self.read_reg(instr.rb))):
+                next_pc = self._take_branch(instr)
+        elif op is Op.BLTU:
+            if self.read_reg(instr.ra) < self.read_reg(instr.rb):
+                next_pc = self._take_branch(instr)
+        elif op is Op.BGEU:
+            if self.read_reg(instr.ra) >= self.read_reg(instr.rb):
+                next_pc = self._take_branch(instr)
+        elif op is Op.JAL:
+            self.write_reg(instr.rd, self.pc + 1)
+            next_pc = instr.imm
+            self.busy_cycles_left += 1
+            self.stats.taken_branches += 1
+        elif op is Op.JALR:
+            target = to_u16(self.read_reg(instr.ra) + instr.imm)
+            self.write_reg(instr.rd, self.pc + 1)
+            next_pc = target
+            self.busy_cycles_left += 1
+            self.stats.taken_branches += 1
+        elif op in _SYNC_OPS:
+            effect = Effect(EffectKind.SYNC, sync_op=_SYNC_OPS[op],
+                            sync_point=instr.imm)
+            self.stats.sync_issued += 1
+        elif op is Op.SLEEP:
+            effect = Effect(EffectKind.SLEEP)
+            self.stats.sync_issued += 1
+        elif op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            effect = Effect(EffectKind.HALT)
+        else:  # pragma: no cover - Op enum is exhaustive
+            raise NotImplementedError(f"unimplemented opcode {op!r}")
+
+        self.pc = next_pc & 0x7FFF
+        return effect
+
+    def _take_branch(self, instr: Instruction) -> int:
+        """Compute a taken-branch target and charge the flush cycle."""
+        self.busy_cycles_left += 1
+        self.stats.taken_branches += 1
+        return self.pc + 1 + instr.imm
+
+    # ------------------------------------------------------------------
+    # Platform callbacks
+    # ------------------------------------------------------------------
+
+    def complete_load(self, effect: Effect, value: int) -> None:
+        """Deliver granted load data to the destination register."""
+        self.write_reg(effect.rd, value)
+
+    def reset(self, entry: int) -> None:
+        """Power-on reset at ``entry``."""
+        self.regs = [0] * 8
+        self.pc = entry & 0x7FFF
+        self.halted = False
+        self.gated = False
+        self.busy_cycles_left = 0
+        self.pending_effect = None
+        self.stats = CoreStats()

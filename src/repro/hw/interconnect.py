@@ -1,0 +1,210 @@
+"""Logarithmic-interconnect crossbars with broadcast support.
+
+The platform connects cores to the memory banks through crossbars that
+"allow combinational (single-cycle) accesses from cores to memories"
+following the logarithmic interconnect of Kakoee et al. [19], "modified
+to allow broadcasting of data and instructions" (Sec. IV-A): multiple
+read requests for the *same location* in the *same cycle* merge into a
+single memory access whose result is fanned out to all requesters.
+
+Requests to the same bank but *different* addresses conflict; a
+round-robin arbiter grants one address group per bank per cycle and the
+losers retry next cycle (a pipeline stall for the losing core).
+
+:class:`Crossbar` models this for N ports; the single-core baseline
+uses the same class with one port (where neither broadcasting nor
+arbitration can occur), matching the paper's remark that a simple
+decoder suffices — the energy model, not the timing model, captures the
+decoder-vs-crossbar cost difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """One port's request during one cycle.
+
+    Attributes:
+        port: requesting port (core id).
+        bank: target bank number.
+        index: word index within the bank.
+        is_write: write transaction (writes never broadcast).
+        value: data to store for writes.
+    """
+
+    port: int
+    bank: int
+    index: int
+    is_write: bool = False
+    value: int = 0
+
+
+@dataclass
+class GrantGroup:
+    """All requests granted for one bank in one cycle.
+
+    For reads, ``requests`` may hold several ports (a broadcast); for
+    writes it always holds exactly one.
+    """
+
+    bank: int
+    index: int
+    is_write: bool
+    requests: list[MemRequest]
+
+    @property
+    def broadcast_extra(self) -> int:
+        """Requests served beyond the first (merged accesses)."""
+        return len(self.requests) - 1
+
+
+@dataclass
+class ArbitrationResult:
+    """Outcome of one cycle of crossbar arbitration.
+
+    Attributes:
+        granted: one :class:`GrantGroup` per bank that saw a grant.
+        stalled: requests that lost arbitration and must retry.
+    """
+
+    granted: list[GrantGroup] = field(default_factory=list)
+    stalled: list[MemRequest] = field(default_factory=list)
+
+
+@dataclass
+class CrossbarStats:
+    """Cumulative crossbar activity (inputs to the power model).
+
+    Attributes:
+        requests: total port requests presented.
+        grants: requests served (including broadcast-merged ones).
+        accesses: actual memory accesses performed (one per grant
+            group), i.e. ``grants - broadcast_merged``.
+        broadcast_merged: requests served by another port's access.
+        conflicts: requests stalled by bank conflicts.
+        broadcast_cycles: cycles in which at least one merge happened.
+    """
+
+    requests: int = 0
+    grants: int = 0
+    accesses: int = 0
+    broadcast_merged: int = 0
+    conflicts: int = 0
+    broadcast_cycles: int = 0
+
+    @property
+    def broadcast_fraction(self) -> float:
+        """Fraction of granted requests served by a merged access.
+
+        This is the "IM/DM Broadcast (%)" metric of Table I: how much
+        memory traffic was eliminated by the broadcasting interconnect.
+        """
+        if self.grants == 0:
+            return 0.0
+        return self.broadcast_merged / self.grants
+
+
+class Crossbar:
+    """N-port crossbar with per-bank round-robin arbitration.
+
+    Args:
+        ports: number of requesting ports (cores).
+        banks: number of memory banks on the other side.
+        broadcast: merge same-address same-cycle reads (the paper's
+            modification); disable for the ablation study ABL-1.
+        name: diagnostic name.
+    """
+
+    def __init__(self, ports: int, banks: int, broadcast: bool = True,
+                 name: str = "xbar") -> None:
+        self.ports = ports
+        self.num_banks = banks
+        self.broadcast = broadcast
+        self.name = name
+        self.stats = CrossbarStats()
+        self._rr_priority = [0] * banks  # per-bank round-robin pointer
+
+    def arbitrate(self, requests: list[MemRequest]) -> ArbitrationResult:
+        """Resolve one cycle's worth of requests.
+
+        Grant policy per bank: requests are grouped into transactions
+        (same-address reads form one mergeable group when broadcasting
+        is on; each write and, without broadcasting, each read is its
+        own transaction).  The transaction containing the
+        highest-priority port (round-robin) wins; everything else
+        stalls.
+        """
+        result = ArbitrationResult()
+        self.stats.requests += len(requests)
+        by_bank: dict[int, list[MemRequest]] = {}
+        for request in requests:
+            if request.port >= self.ports:
+                raise ValueError(
+                    f"{self.name}: port {request.port} out of range")
+            if request.bank >= self.num_banks:
+                raise ValueError(
+                    f"{self.name}: bank {request.bank} out of range")
+            by_bank.setdefault(request.bank, []).append(request)
+
+        merged_this_cycle = False
+        for bank, bank_requests in by_bank.items():
+            groups = self._group(bank_requests)
+            winner = self._pick(bank, groups)
+            for group in groups:
+                if group is winner:
+                    result.granted.append(group)
+                    self.stats.grants += len(group.requests)
+                    self.stats.accesses += 1
+                    if group.broadcast_extra:
+                        self.stats.broadcast_merged += group.broadcast_extra
+                        merged_this_cycle = True
+                else:
+                    result.stalled.extend(group.requests)
+                    self.stats.conflicts += len(group.requests)
+        if merged_this_cycle:
+            self.stats.broadcast_cycles += 1
+        return result
+
+    def _group(self, requests: list[MemRequest]) -> list[GrantGroup]:
+        """Partition one bank's requests into candidate transactions."""
+        groups: list[GrantGroup] = []
+        read_groups: dict[int, GrantGroup] = {}
+        for request in requests:
+            if request.is_write or not self.broadcast:
+                groups.append(GrantGroup(
+                    bank=request.bank, index=request.index,
+                    is_write=request.is_write, requests=[request]))
+            else:
+                group = read_groups.get(request.index)
+                if group is None:
+                    group = GrantGroup(
+                        bank=request.bank, index=request.index,
+                        is_write=False, requests=[])
+                    read_groups[request.index] = group
+                    groups.append(group)
+                group.requests.append(request)
+        return groups
+
+    def _pick(self, bank: int, groups: list[GrantGroup]) -> GrantGroup:
+        """Round-robin: grant the group containing the priority port."""
+        if len(groups) == 1:
+            return groups[0]
+        priority = self._rr_priority[bank]
+        best: GrantGroup | None = None
+        best_distance = self.ports + 1
+        for group in groups:
+            distance = min((request.port - priority) % self.ports
+                           for request in group.requests)
+            if distance < best_distance:
+                best_distance = distance
+                best = group
+        assert best is not None
+        self._rr_priority[bank] = (priority + 1) % self.ports
+        return best
+
+    def reset_stats(self) -> None:
+        """Zero the cumulative counters."""
+        self.stats = CrossbarStats()

@@ -1,0 +1,46 @@
+"""Assembler command line.
+
+Usage::
+
+    python -m repro.isa program.s           # assemble + listing
+    python -m repro.isa program.s --symbols # also dump the symbol table
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .assembler import assemble
+from .disassembler import disassemble_image
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Assemble a source file and print its listing."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.isa",
+        description="Assemble a WBSN RISC source file.")
+    parser.add_argument("source", type=Path, help="assembly source file")
+    parser.add_argument("--symbols", action="store_true",
+                        help="dump the symbol table")
+    args = parser.parse_args(argv)
+
+    image = assemble(args.source.read_text(), name=str(args.source))
+    for line in disassemble_image(image.im):
+        print(line)
+    print(f"\n{image.code_words} words in banks "
+          f"{sorted(image.banks_used())}, "
+          f"{image.sync_instruction_count()} sync instructions "
+          f"({image.code_overhead() * 100:.2f} % overhead)")
+    if image.entries:
+        entries = ", ".join(f"core {core} @ {addr:#06x}"
+                            for core, addr in sorted(image.entries.items()))
+        print(f"entry points: {entries}")
+    if args.symbols:
+        for name in sorted(image.symbols):
+            print(f"  {name:<24} {image.symbols[name]:#06x}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

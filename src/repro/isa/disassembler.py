@@ -1,0 +1,57 @@
+"""Disassembler for the WBSN RISC ISA.
+
+Turns encoded 24-bit words back into assembler-syntax text.  Used by the
+debugger-style tracing of the cycle-level simulator and by tests that
+check encode/decode/format round trips.
+"""
+
+from __future__ import annotations
+
+from .encoding import Instruction, decode
+from .spec import OP_TABLE, REG_NAMES, Format
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction in assembler syntax."""
+    info = OP_TABLE[instr.op]
+    mnemonic = info.mnemonic
+    fmt = info.fmt
+    if fmt is Format.R:
+        return (f"{mnemonic} {REG_NAMES[instr.rd]}, "
+                f"{REG_NAMES[instr.ra]}, {REG_NAMES[instr.rb]}")
+    if fmt is Format.I:
+        if mnemonic == "lw":
+            return (f"lw {REG_NAMES[instr.rd]}, "
+                    f"{instr.imm}({REG_NAMES[instr.ra]})")
+        return (f"{mnemonic} {REG_NAMES[instr.rd]}, "
+                f"{REG_NAMES[instr.ra]}, {instr.imm}")
+    if fmt is Format.S:
+        return (f"sw {REG_NAMES[instr.rb]}, "
+                f"{instr.imm}({REG_NAMES[instr.ra]})")
+    if fmt is Format.B:
+        return (f"{mnemonic} {REG_NAMES[instr.ra]}, "
+                f"{REG_NAMES[instr.rb]}, {instr.imm:+d}")
+    if fmt is Format.J:
+        return f"jal {REG_NAMES[instr.rd]}, {instr.imm:#x}"
+    if fmt is Format.U:
+        return f"lui {REG_NAMES[instr.rd]}, {instr.imm:#x}"
+    if fmt is Format.Y:
+        return f"{mnemonic} {instr.imm}"
+    return mnemonic
+
+
+def disassemble_word(word: int) -> str:
+    """Decode and render one 24-bit instruction word."""
+    return format_instruction(decode(word))
+
+
+def disassemble_image(im: dict[int, int]) -> list[str]:
+    """Render a sparse instruction image as ``addr: text`` lines."""
+    lines = []
+    for address in sorted(im):
+        try:
+            text = disassemble_word(im[address])
+        except Exception:
+            text = f".word {im[address]:#08x}"
+        lines.append(f"{address:#06x}: {text}")
+    return lines

@@ -1,0 +1,212 @@
+"""Binary encoding and decoding of 24-bit instruction words.
+
+The :class:`Instruction` dataclass is the in-memory form used by the
+assembler, the disassembler and the cycle-level core model.  ``encode``
+packs it into a 24-bit integer; ``decode`` unpacks.  The pair round-trips
+exactly (property-tested in ``tests/isa/test_encoding.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import EncodingError
+from .spec import (
+    IMM_BITS,
+    INSTR_MASK,
+    JUMP_ADDR_BITS,
+    NUM_REGS,
+    OP_TABLE,
+    SYNC_LIT_BITS,
+    Format,
+    Op,
+    fits_signed,
+    fits_unsigned,
+    signed,
+)
+
+_OPCODE_SHIFT = 18
+_RD_SHIFT = 15
+_RA_SHIFT = 12
+_RB_SHIFT = 9
+_FIELD3_MASK = 0x7
+_IMM12_MASK = (1 << IMM_BITS) - 1
+_ADDR15_MASK = (1 << JUMP_ADDR_BITS) - 1
+_LIT16_SHIFT = 2
+_LIT16_MASK = (1 << SYNC_LIT_BITS) - 1
+_IMM8_SHIFT = 7
+_IMM8_MASK = 0xFF
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    Field use depends on the format; unused fields stay at zero:
+
+    * R: ``rd``, ``ra``, ``rb``
+    * I: ``rd``, ``ra``, ``imm`` (signed 12-bit)
+    * S: ``rb`` (source), ``ra`` (base), ``imm`` (signed 12-bit)
+    * B: ``ra``, ``rb``, ``imm`` (signed 12-bit word offset)
+    * J: ``rd``, ``imm`` (absolute word address, unsigned 15-bit)
+    * U: ``rd``, ``imm`` (unsigned 8-bit, loaded into the high byte)
+    * Y: ``imm`` (unsigned 16-bit sync-point literal)
+    * N: no fields
+    """
+
+    op: Op
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    @property
+    def fmt(self) -> Format:
+        """Encoding format of this instruction."""
+        return OP_TABLE[self.op].fmt
+
+    @property
+    def mnemonic(self) -> str:
+        """Assembler mnemonic of this instruction."""
+        return OP_TABLE[self.op].mnemonic
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        from .disassembler import format_instruction
+
+        return format_instruction(self)
+
+
+def _check_reg(name: str, value: int) -> None:
+    if not 0 <= value < NUM_REGS:
+        raise EncodingError(f"register field {name}={value} out of range")
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an :class:`Instruction` into a 24-bit word."""
+    info = OP_TABLE.get(instr.op)
+    if info is None:
+        raise EncodingError(f"unknown opcode {instr.op!r}")
+    word = int(instr.op) << _OPCODE_SHIFT
+    fmt = info.fmt
+
+    if fmt is Format.R:
+        _check_reg("rd", instr.rd)
+        _check_reg("ra", instr.ra)
+        _check_reg("rb", instr.rb)
+        word |= instr.rd << _RD_SHIFT
+        word |= instr.ra << _RA_SHIFT
+        word |= instr.rb << _RB_SHIFT
+    elif fmt is Format.I:
+        _check_reg("rd", instr.rd)
+        _check_reg("ra", instr.ra)
+        if not fits_signed(instr.imm, IMM_BITS):
+            raise EncodingError(
+                f"{info.mnemonic}: immediate {instr.imm} does not fit "
+                f"signed {IMM_BITS}-bit field")
+        word |= instr.rd << _RD_SHIFT
+        word |= instr.ra << _RA_SHIFT
+        word |= instr.imm & _IMM12_MASK
+    elif fmt is Format.S:
+        _check_reg("rb", instr.rb)
+        _check_reg("ra", instr.ra)
+        if not fits_signed(instr.imm, IMM_BITS):
+            raise EncodingError(
+                f"{info.mnemonic}: immediate {instr.imm} does not fit "
+                f"signed {IMM_BITS}-bit field")
+        word |= instr.rb << _RD_SHIFT
+        word |= instr.ra << _RA_SHIFT
+        word |= instr.imm & _IMM12_MASK
+    elif fmt is Format.B:
+        _check_reg("ra", instr.ra)
+        _check_reg("rb", instr.rb)
+        if not fits_signed(instr.imm, IMM_BITS):
+            raise EncodingError(
+                f"{info.mnemonic}: branch offset {instr.imm} does not fit "
+                f"signed {IMM_BITS}-bit field")
+        word |= instr.ra << _RD_SHIFT
+        word |= instr.rb << _RA_SHIFT
+        word |= instr.imm & _IMM12_MASK
+    elif fmt is Format.J:
+        _check_reg("rd", instr.rd)
+        if not fits_unsigned(instr.imm, JUMP_ADDR_BITS):
+            raise EncodingError(
+                f"{info.mnemonic}: target address {instr.imm:#x} does not "
+                f"fit unsigned {JUMP_ADDR_BITS}-bit field")
+        word |= instr.rd << _RD_SHIFT
+        word |= instr.imm & _ADDR15_MASK
+    elif fmt is Format.U:
+        _check_reg("rd", instr.rd)
+        if not fits_unsigned(instr.imm, 8):
+            raise EncodingError(
+                f"{info.mnemonic}: immediate {instr.imm} does not fit "
+                f"unsigned 8-bit field")
+        word |= instr.rd << _RD_SHIFT
+        word |= (instr.imm & _IMM8_MASK) << _IMM8_SHIFT
+    elif fmt is Format.Y:
+        if not fits_unsigned(instr.imm, SYNC_LIT_BITS):
+            raise EncodingError(
+                f"{info.mnemonic}: sync point literal {instr.imm} does not "
+                f"fit unsigned {SYNC_LIT_BITS}-bit field")
+        word |= (instr.imm & _LIT16_MASK) << _LIT16_SHIFT
+    elif fmt is Format.N:
+        pass
+    else:  # pragma: no cover - enum is exhaustive
+        raise EncodingError(f"unhandled format {fmt!r}")
+
+    return word & INSTR_MASK
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 24-bit word into an :class:`Instruction`."""
+    if not 0 <= word <= INSTR_MASK:
+        raise EncodingError(f"instruction word {word:#x} is not 24-bit")
+    opcode = (word >> _OPCODE_SHIFT) & 0x3F
+    try:
+        op = Op(opcode)
+    except ValueError as exc:
+        raise EncodingError(f"illegal opcode {opcode:#04x}") from exc
+    fmt = OP_TABLE[op].fmt
+
+    if fmt is Format.R:
+        return Instruction(
+            op,
+            rd=(word >> _RD_SHIFT) & _FIELD3_MASK,
+            ra=(word >> _RA_SHIFT) & _FIELD3_MASK,
+            rb=(word >> _RB_SHIFT) & _FIELD3_MASK,
+        )
+    if fmt is Format.I:
+        return Instruction(
+            op,
+            rd=(word >> _RD_SHIFT) & _FIELD3_MASK,
+            ra=(word >> _RA_SHIFT) & _FIELD3_MASK,
+            imm=signed(word & _IMM12_MASK, IMM_BITS),
+        )
+    if fmt is Format.S:
+        return Instruction(
+            op,
+            rb=(word >> _RD_SHIFT) & _FIELD3_MASK,
+            ra=(word >> _RA_SHIFT) & _FIELD3_MASK,
+            imm=signed(word & _IMM12_MASK, IMM_BITS),
+        )
+    if fmt is Format.B:
+        return Instruction(
+            op,
+            ra=(word >> _RD_SHIFT) & _FIELD3_MASK,
+            rb=(word >> _RA_SHIFT) & _FIELD3_MASK,
+            imm=signed(word & _IMM12_MASK, IMM_BITS),
+        )
+    if fmt is Format.J:
+        return Instruction(
+            op,
+            rd=(word >> _RD_SHIFT) & _FIELD3_MASK,
+            imm=word & _ADDR15_MASK,
+        )
+    if fmt is Format.U:
+        return Instruction(
+            op,
+            rd=(word >> _RD_SHIFT) & _FIELD3_MASK,
+            imm=(word >> _IMM8_SHIFT) & _IMM8_MASK,
+        )
+    if fmt is Format.Y:
+        return Instruction(op, imm=(word >> _LIT16_SHIFT) & _LIT16_MASK)
+    return Instruction(op)

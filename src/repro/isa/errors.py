@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ISA tool-chain.
+
+Every tool-chain stage (assembler, encoder, linker, loader) raises a
+subclass of :class:`IsaError` so callers can catch tool-chain problems
+with a single ``except`` clause while still being able to tell stages
+apart.
+"""
+
+from __future__ import annotations
+
+
+class IsaError(Exception):
+    """Base class for all ISA tool-chain errors."""
+
+
+class EncodingError(IsaError):
+    """A field does not fit its encoding slot or an opcode is unknown."""
+
+
+class AssemblerError(IsaError):
+    """Syntax or semantic error in an assembly source file.
+
+    Carries the source line number (1-based) when available so error
+    messages can point at the offending line.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 source_name: str | None = None) -> None:
+        self.line = line
+        self.source_name = source_name
+        location = ""
+        if source_name is not None:
+            location += f"{source_name}:"
+        if line is not None:
+            location += f"{line}:"
+        if location:
+            message = f"{location} {message}"
+        super().__init__(message)
+
+
+class LinkError(IsaError):
+    """Sections overlap, overflow a bank, or a symbol is unresolved."""
+
+
+class LoadError(IsaError):
+    """A program image cannot be loaded onto the simulated platform."""

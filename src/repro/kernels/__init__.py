@@ -1,0 +1,29 @@
+"""Assembly kernels + cycle-level characterisation (system S20)."""
+
+from .characterize import (
+    BarrierPipelineReport,
+    MacReport,
+    WindowMinReport,
+    characterize_barrier_pipeline,
+    characterize_mac,
+    characterize_window_min,
+)
+from .sources import (
+    RESULT_BASE,
+    barrier_pipeline_kernel,
+    mac_kernel,
+    window_min_kernel,
+)
+
+__all__ = [
+    "BarrierPipelineReport",
+    "MacReport",
+    "RESULT_BASE",
+    "WindowMinReport",
+    "barrier_pipeline_kernel",
+    "characterize_barrier_pipeline",
+    "characterize_mac",
+    "characterize_window_min",
+    "mac_kernel",
+    "window_min_kernel",
+]

@@ -1,0 +1,21 @@
+"""Signal substrate (system S14): synthetic ECG, record containers."""
+
+from .ecg import (
+    EcgConfig,
+    NoiseProfile,
+    cse_like_record,
+    rp_class_record,
+    synthesize_ecg,
+)
+from .records import BeatAnnotation, BeatLabel, EcgRecord
+
+__all__ = [
+    "BeatAnnotation",
+    "BeatLabel",
+    "EcgConfig",
+    "EcgRecord",
+    "NoiseProfile",
+    "cse_like_record",
+    "rp_class_record",
+    "synthesize_ecg",
+]

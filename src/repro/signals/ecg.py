@@ -1,0 +1,232 @@
+"""Synthetic multi-lead ECG generator (CSE-database substitute).
+
+The paper uses a multi-lead record from the CSE database [23] and, for
+RP-CLASS, inserts 20 % pathological beats (Sec. IV-D).  The CSE
+database is not redistributable, so this module synthesises records
+with the properties the evaluation actually depends on:
+
+* multi-lead morphology (P-QRS-T as a sum of Gaussian bumps, the
+  standard ECGSYN-style beat model, projected onto each lead with a
+  per-lead gain/polarity);
+* physiological rhythm (configurable heart rate with small RR jitter);
+* **pathological (PVC-like) beats** at a configurable ratio: widened,
+  high-amplitude QRS, discordant T wave and absent P wave, optionally
+  premature — morphologically separable from normal beats, which is
+  what the random-projection classifier needs;
+* realistic contamination (baseline wander, powerline hum, wideband
+  muscle noise) for the morphological filter to remove;
+* integer ADC counts in a 16-bit range, ready for the platform's
+  memory-mapped ADC registers.
+
+Pathological beats are placed **uniformly** ("the abnormal heartbeats
+have been distributed uniformly", Sec. V-C) or randomly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .records import BeatAnnotation, BeatLabel, EcgRecord
+
+#: Gaussian bump parameters of a normal beat: (delay s, width s, amplitude).
+_NORMAL_WAVES: tuple[tuple[float, float, float], ...] = (
+    (-0.210, 0.035, 0.12),   # P
+    (-0.035, 0.012, -0.14),  # Q
+    (0.000, 0.016, 1.00),    # R
+    (0.035, 0.014, -0.22),   # S
+    (0.230, 0.070, 0.28),    # T
+)
+
+#: PVC-like pathological beat: wide/tall QRS, no P, discordant T.
+_PVC_WAVES: tuple[tuple[float, float, float], ...] = (
+    (-0.075, 0.024, -0.35),  # deep wide Q
+    (0.000, 0.038, 1.55),    # wide tall R
+    (0.085, 0.027, -0.50),   # deep wide S
+    (0.300, 0.085, -0.40),   # inverted T
+)
+
+#: Per-lead projection gains of the beat template (3 pseudo-leads).
+_LEAD_GAINS: tuple[float, ...] = (1.00, 0.72, -0.55, 0.85, -0.40, 0.60)
+
+
+@dataclass(frozen=True)
+class NoiseProfile:
+    """Contamination levels relative to the R amplitude (1.0).
+
+    Attributes:
+        baseline_wander: amplitude of the respiratory drift (~0.3 Hz).
+        powerline: amplitude of the mains interference.
+        powerline_hz: mains frequency (50 Hz in the paper's region).
+        muscle: standard deviation of the wideband noise.
+    """
+
+    baseline_wander: float = 0.18
+    powerline: float = 0.04
+    powerline_hz: float = 50.0
+    muscle: float = 0.015
+
+
+@dataclass(frozen=True)
+class EcgConfig:
+    """Generator configuration.
+
+    Attributes:
+        duration_s: record length in seconds.
+        fs: sampling frequency (Hz).
+        num_leads: leads to synthesise (up to 6).
+        heart_rate_bpm: mean heart rate.
+        rr_jitter: relative RR-interval standard deviation.
+        pathological_ratio: fraction of beats that are PVC-like.
+        uniform_pathology: place abnormal beats uniformly (paper's
+            Fig. 7 setting) instead of randomly.
+        premature_fraction: how much earlier a PVC arrives, as a
+            fraction of the RR interval.
+        adc_counts_per_mv: ADC gain (R peak ~ 1 mV).
+        noise: contamination profile.
+        seed: RNG seed (generation is fully reproducible).
+    """
+
+    duration_s: float = 60.0
+    fs: float = 250.0
+    num_leads: int = 3
+    heart_rate_bpm: float = 72.0
+    rr_jitter: float = 0.03
+    pathological_ratio: float = 0.0
+    uniform_pathology: bool = True
+    premature_fraction: float = 0.12
+    adc_counts_per_mv: float = 2000.0
+    noise: NoiseProfile = field(default_factory=NoiseProfile)
+    seed: int = 2014  # the paper's year, for luck and reproducibility
+
+
+def _beat_template(waves, fs: float, width_scale: float = 1.0) -> np.ndarray:
+    """Render one beat as a sampled sum of Gaussians, centred on R."""
+    half_span = 0.45  # seconds on each side of the R peak
+    t = np.arange(-half_span, half_span, 1.0 / fs)
+    beat = np.zeros_like(t)
+    for delay, width, amplitude in waves:
+        sigma = width * width_scale
+        beat += amplitude * np.exp(-0.5 * ((t - delay) / sigma) ** 2)
+    return beat
+
+
+def _place_pathological(num_beats: int, ratio: float, uniform: bool,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Boolean mask of pathological beats."""
+    mask = np.zeros(num_beats, dtype=bool)
+    abnormal = int(round(num_beats * ratio))
+    if abnormal <= 0:
+        return mask
+    if abnormal >= num_beats:
+        mask[:] = True
+        return mask
+    if uniform:
+        positions = np.linspace(0, num_beats - 1, abnormal + 1,
+                                endpoint=False)[1:]
+        mask[np.round(positions).astype(int)] = True
+        # Rounding can merge two positions; top up randomly if short.
+        deficit = abnormal - int(mask.sum())
+        if deficit > 0:
+            candidates = np.flatnonzero(~mask)
+            mask[rng.choice(candidates, size=deficit, replace=False)] = True
+    else:
+        mask[rng.choice(num_beats, size=abnormal, replace=False)] = True
+    return mask
+
+
+def synthesize_ecg(config: EcgConfig | None = None) -> EcgRecord:
+    """Generate a synthetic annotated multi-lead ECG record."""
+    cfg = config or EcgConfig()
+    if not 1 <= cfg.num_leads <= len(_LEAD_GAINS):
+        raise ValueError(f"num_leads must be in [1, {len(_LEAD_GAINS)}]")
+    if not 0.0 <= cfg.pathological_ratio <= 1.0:
+        raise ValueError("pathological_ratio must be within [0, 1]")
+    rng = np.random.default_rng(cfg.seed)
+    num_samples = int(round(cfg.duration_s * cfg.fs))
+    clean = np.zeros(num_samples)
+
+    mean_rr = 60.0 / cfg.heart_rate_bpm
+    # Schedule beats (R-peak times), with jitter and PVC prematurity.
+    estimated = int(cfg.duration_s / mean_rr) + 3
+    mask = _place_pathological(estimated, cfg.pathological_ratio,
+                               cfg.uniform_pathology, rng)
+    beat_times: list[tuple[float, bool]] = []
+    t = mean_rr * 0.6
+    for index in range(estimated):
+        rr = mean_rr * (1.0 + cfg.rr_jitter * rng.standard_normal())
+        is_pvc = bool(mask[index])
+        arrival = t
+        if is_pvc:
+            arrival -= cfg.premature_fraction * mean_rr
+        if arrival >= cfg.duration_s - 0.5:
+            break
+        beat_times.append((arrival, is_pvc))
+        t += rr
+
+    normal = _beat_template(_NORMAL_WAVES, cfg.fs)
+    pvc = _beat_template(_PVC_WAVES, cfg.fs, width_scale=1.25)
+    half = len(normal) // 2
+
+    annotations: list[BeatAnnotation] = []
+    for arrival, is_pvc in beat_times:
+        center = int(round(arrival * cfg.fs))
+        template = pvc if is_pvc else normal
+        start = center - half
+        lo = max(0, start)
+        hi = min(num_samples, start + len(template))
+        clean[lo:hi] += template[lo - start:hi - start]
+        annotations.append(BeatAnnotation(
+            sample=center,
+            label=BeatLabel.PVC if is_pvc else BeatLabel.NORMAL))
+
+    time = np.arange(num_samples) / cfg.fs
+    leads: list[np.ndarray] = []
+    for lead_index in range(cfg.num_leads):
+        gain = _LEAD_GAINS[lead_index]
+        signal = clean * gain
+        noise = cfg.noise
+        # Independent contamination per lead.
+        wander = noise.baseline_wander * (
+            np.sin(2 * np.pi * 0.28 * time + rng.uniform(0, 2 * np.pi))
+            + 0.5 * np.sin(2 * np.pi * 0.11 * time
+                           + rng.uniform(0, 2 * np.pi)))
+        hum = noise.powerline * np.sin(
+            2 * np.pi * noise.powerline_hz * time
+            + rng.uniform(0, 2 * np.pi))
+        muscle = noise.muscle * rng.standard_normal(num_samples)
+        counts = (signal + wander + hum + muscle) * cfg.adc_counts_per_mv
+        leads.append(np.clip(np.round(counts), -32768, 32767)
+                     .astype(np.int16))
+
+    record = EcgRecord(fs=cfg.fs, leads=leads, annotations=annotations,
+                       name=f"synthetic-{cfg.seed}")
+    record.validate()
+    return record
+
+
+def cse_like_record(duration_s: float = 60.0, num_leads: int = 3,
+                    seed: int = 2014) -> EcgRecord:
+    """Healthy multi-lead record, the stand-in for the CSE subject.
+
+    Used by the 3L-MF and 3L-MMD experiments (Sec. IV-D).
+    """
+    return synthesize_ecg(EcgConfig(duration_s=duration_s,
+                                    num_leads=num_leads, seed=seed))
+
+
+def rp_class_record(duration_s: float = 60.0,
+                    pathological_ratio: float = 0.20,
+                    seed: int = 2014) -> EcgRecord:
+    """Single-seed record with inserted pathological beats.
+
+    Defaults to the paper's RP-CLASS setting: "20 % of pathological
+    beats were inserted, representing the average presence of
+    abnormalities in the CSE database" (Sec. IV-D).  Three leads are
+    generated because the delineation chain needs them when a beat is
+    flagged abnormal.
+    """
+    return synthesize_ecg(EcgConfig(duration_s=duration_s, num_leads=3,
+                                    pathological_ratio=pathological_ratio,
+                                    seed=seed))

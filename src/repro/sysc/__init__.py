@@ -1,0 +1,22 @@
+"""System-level architectural simulator (system S19 of DESIGN.md)."""
+
+from .costmodel import CostConsistency, derive_filter_cost
+from .engine import (
+    BeatEvent,
+    Mode,
+    SimulationResult,
+    schedule_from_record,
+    simulate,
+    uniform_schedule,
+)
+
+__all__ = [
+    "BeatEvent",
+    "CostConsistency",
+    "Mode",
+    "SimulationResult",
+    "derive_filter_cost",
+    "schedule_from_record",
+    "simulate",
+    "uniform_schedule",
+]

@@ -1,0 +1,349 @@
+"""System-level behavioural simulator (the paper's SystemC analogue).
+
+Sec. IV-C: cycle-accurate (RTL) simulation of 60 s of ECG is
+infeasible, so the paper annotates a SystemC architectural model with
+per-component energies and simulates at the application level.  This
+module is that model: it replays a beat schedule through a mapped
+application at *sample granularity*, tracking per-core work queues,
+clock-gated cycles, instruction/data traffic, broadcast merging and
+synchronization activity — everything
+:func:`repro.power.energy.compute_power` needs, plus the behavioural
+rows of Table I.
+
+Three execution modes mirror the paper's comparisons:
+
+* ``SINGLE_CORE`` — the baseline: all phases time-share one core that
+  is sized to the average workload (duty ~1 at the chosen clock).
+* ``MULTI_CORE`` — the proposed system: one core per phase replica,
+  clock-gating through the synchronizer, lock-step broadcast.
+* ``MULTI_CORE_NO_SYNC`` — the Fig. 6 strawman: same mapping but
+  *active waiting* instead of SLEEP (idle capacity burns as spin
+  loops) and no lock-step recovery (no instruction broadcast).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..apps.mapping import MappingPlan, map_multicore, map_singlecore
+from ..apps.phases import AppSpec, Trigger
+from ..power.components import DEFAULT_ENERGY, EnergyParams
+from ..power.energy import ActivityVector, PowerReport, compute_power
+from ..power.process import DEFAULT_PROCESS, ProcessModel
+from ..power.vfs import OperatingPoint, plan_operating_point
+from ..signals.records import EcgRecord
+
+#: Data accesses per cycle of a busy-wait polling loop (one flag load
+#: every ~3 instructions).
+SPIN_DM_RATE = 1.0 / 3.0
+
+#: Fraction of executed synchronization instructions that end up as a
+#: (merged) memory modification of a sync point; SLEEPs never write
+#: and same-cycle batches collapse into single writes.
+SYNC_WRITE_FRACTION = 0.5
+
+
+class Mode(enum.Enum):
+    """Execution configuration being simulated."""
+
+    SINGLE_CORE = "single-core"
+    MULTI_CORE = "multi-core"
+    MULTI_CORE_NO_SYNC = "multi-core-no-sync"
+
+
+@dataclass(frozen=True)
+class BeatEvent:
+    """One heartbeat in the input schedule.
+
+    Attributes:
+        sample: R-peak position in samples.
+        abnormal: True when the beat triggers the on-demand chain.
+    """
+
+    sample: int
+    abnormal: bool
+
+
+def schedule_from_record(record: EcgRecord) -> list[BeatEvent]:
+    """Extract the beat schedule of a synthesised record."""
+    return [BeatEvent(sample=beat.sample, abnormal=beat.is_pathological)
+            for beat in record.annotations]
+
+
+def uniform_schedule(duration_s: float, fs: float, bpm: float = 72.0,
+                     abnormal_ratio: float = 0.0) -> list[BeatEvent]:
+    """Synthetic schedule with uniformly spread abnormal beats.
+
+    Matches the Fig. 7 setting ("the abnormal heartbeats have been
+    distributed uniformly") without synthesising waveforms.
+    """
+    period = 60.0 / bpm * fs
+    count = int(duration_s * fs / period)
+    if count <= 0:
+        return []
+    abnormal_target = abnormal_ratio * count
+    events = []
+    credit = 0.0
+    for index in range(count):
+        credit += abnormal_target / count
+        abnormal = credit >= 1.0
+        if abnormal:
+            credit -= 1.0
+        events.append(BeatEvent(sample=int((index + 0.6) * period),
+                                abnormal=abnormal))
+    return events
+
+
+@dataclass
+class SimulationResult:
+    """Everything one (application, mode) simulation produces.
+
+    Attributes:
+        mode: simulated configuration.
+        mapping: the mapping plan used.
+        operating_point: chosen clock and voltage (VFS).
+        required_mhz: clock requirement before the platform floor.
+        activity: platform-neutral counters for the power model.
+        power: average-power decomposition.
+        im_broadcast_fraction: Table I "IM Broadcast".
+        dm_broadcast_fraction: Table I "DM Broadcast".
+        runtime_overhead: Table I "Run-time Overhead".
+        max_latency_s: worst work-queue latency observed (real-time
+            check; streaming phases must stay near zero).
+        duration_s: simulated time span.
+    """
+
+    mode: Mode
+    mapping: MappingPlan
+    operating_point: OperatingPoint
+    required_mhz: float
+    activity: ActivityVector
+    power: PowerReport
+    im_broadcast_fraction: float
+    dm_broadcast_fraction: float
+    runtime_overhead: float
+    max_latency_s: float
+    duration_s: float
+
+    @property
+    def app_name(self) -> str:
+        """Benchmark name."""
+        return self.mapping.app.name
+
+    @property
+    def code_overhead(self) -> float:
+        """Table I "Code Overhead" (static, from the mapping)."""
+        return self.mapping.code_overhead
+
+
+@dataclass
+class _CoreState:
+    """Work-queue state of one simulated core."""
+
+    phase_name: str
+    streaming_cycles: float  # enqueued every sample
+    streaming_sync: float
+    dm_rate: float
+    queue: float = 0.0
+    executed: float = 0.0
+    spin: float = 0.0
+    dm_accesses: float = 0.0
+    sync_ops: float = 0.0
+    executed_this_tick: float = 0.0
+    group: str | None = None  # lock-step group (phase name)
+    shared_read_fraction: float = 0.0
+    alignment: float = 0.0
+
+
+def _required_clock_mhz(app: AppSpec, mode: Mode,
+                        schedule: list[BeatEvent],
+                        duration_s: float) -> float:
+    """Sizing step of Sec. V-A: the minimum clock for real time."""
+    with_sync = mode is Mode.MULTI_CORE
+    if mode is Mode.SINGLE_CORE:
+        abnormal = sum(1 for event in schedule if event.abnormal)
+        streaming = app.streaming_cycles_per_sample * app.fs
+        triggered = (abnormal * app.triggered_cycles_per_beat
+                     / duration_s if duration_s > 0 else 0.0)
+        return (streaming + triggered) / 1e6
+    # Multi-core: the busiest *streaming* core sets the clock; the
+    # on-demand chain runs at beat rate with a relaxed (multi-beat)
+    # deadline and never dominates.
+    worst = 0.0
+    for phase in app.phases:
+        if phase.trigger is not Trigger.STREAMING:
+            continue
+        cycles = phase.cycles_per_sample
+        if with_sync:
+            cycles += phase.sync_ops_per_sample
+        worst = max(worst, cycles * app.fs / 1e6)
+    return worst
+
+
+def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
+             duration_s: float = 60.0, num_cores: int = 8,
+             energy: EnergyParams = DEFAULT_ENERGY,
+             process: ProcessModel = DEFAULT_PROCESS) -> SimulationResult:
+    """Simulate one application in one configuration.
+
+    Args:
+        app: benchmark application.
+        mode: configuration to simulate.
+        schedule: input beat schedule (drives the on-demand phases).
+        duration_s: simulated time span (the paper uses 60 s).
+        num_cores: cores of the multi-core platform.
+        energy: component-energy calibration.
+        process: VFS process model.
+    """
+    app.validate()
+    multicore = mode is not Mode.SINGLE_CORE
+    mapping = map_multicore(app, num_cores) if multicore \
+        else map_singlecore(app)
+    required = _required_clock_mhz(app, mode, schedule, duration_s)
+    point = plan_operating_point(required, process=process,
+                                 single_core=not multicore)
+
+    # ------------------------------------------------------------------
+    # Build per-core state.
+    # ------------------------------------------------------------------
+    with_sync = mode is Mode.MULTI_CORE
+    cores: list[_CoreState] = []
+    triggered_cores: dict[str, list[int]] = {}
+    if multicore:
+        for assignment in mapping.assignments:
+            phase = app.phase(assignment.phase)
+            streaming = phase.trigger is Trigger.STREAMING
+            state = _CoreState(
+                phase_name=phase.name,
+                streaming_cycles=phase.cycles_per_sample
+                if streaming else 0.0,
+                streaming_sync=phase.sync_ops_per_sample
+                if (streaming and with_sync) else 0.0,
+                dm_rate=phase.dm_access_rate,
+                group=phase.name if (phase.replicas > 1
+                                     and phase.lockstep_alignment > 0)
+                else None,
+                shared_read_fraction=phase.shared_read_fraction,
+                alignment=phase.lockstep_alignment if with_sync else 0.0,
+            )
+            cores.append(state)
+            if not streaming:
+                triggered_cores.setdefault(phase.name, []).append(
+                    len(cores) - 1)
+    else:
+        streaming_total = app.streaming_cycles_per_sample
+        rates = [(phase.cycles_per_sample * phase.replicas,
+                  phase.dm_access_rate) for phase in app.phases]
+        total = sum(cycles for cycles, _ in rates) or 1.0
+        blended_rate = sum(cycles * rate for cycles, rate in rates) / total
+        cores.append(_CoreState(
+            phase_name="all", streaming_cycles=streaming_total,
+            streaming_sync=0.0, dm_rate=blended_rate))
+        for phase in app.phases:
+            if phase.trigger is not Trigger.STREAMING:
+                triggered_cores.setdefault(phase.name, []).append(0)
+
+    # ------------------------------------------------------------------
+    # Tick loop at sample granularity.
+    # ------------------------------------------------------------------
+    fs = app.fs
+    ticks = int(round(duration_s * fs))
+    capacity = point.cycles_per_second / fs  # cycles per tick
+    beats_by_tick: dict[int, int] = {}
+    for event in schedule:
+        if event.abnormal and 0 <= event.sample < ticks:
+            beats_by_tick[event.sample] = \
+                beats_by_tick.get(event.sample, 0) + 1
+
+    groups: dict[str, list[_CoreState]] = {}
+    for state in cores:
+        if state.group is not None:
+            groups.setdefault(state.group, []).append(state)
+
+    im_merged = 0.0
+    dm_merged = 0.0
+    max_queue = 0.0
+    triggered_sync = {
+        phase.name: (phase.sync_ops_per_sample if with_sync else 0.0)
+        for phase in app.phases
+    }
+    for tick in range(ticks):
+        arrivals = beats_by_tick.get(tick, 0)
+        if arrivals:
+            for phase in app.phases:
+                if phase.trigger is not Trigger.ON_ABNORMAL:
+                    continue
+                work = (phase.cycles_per_sample
+                        + triggered_sync[phase.name]) \
+                    * app.beat_span_samples * arrivals
+                for core_index in triggered_cores.get(phase.name, []):
+                    state = cores[core_index]
+                    state.queue += work
+                    state.sync_ops += (triggered_sync[phase.name]
+                                       * app.beat_span_samples * arrivals)
+        for state in cores:
+            state.queue += state.streaming_cycles + state.streaming_sync
+            state.sync_ops += state.streaming_sync
+            executed = min(state.queue, capacity)
+            state.queue -= executed
+            state.executed += executed
+            state.executed_this_tick = executed
+            state.dm_accesses += executed * state.dm_rate
+            if mode is Mode.MULTI_CORE_NO_SYNC:
+                spin = capacity - executed
+                state.spin += spin
+                state.dm_accesses += spin * SPIN_DM_RATE
+            max_queue = max(max_queue, state.queue)
+        for members in groups.values():
+            active = [m for m in members if m.executed_this_tick > 0]
+            if len(active) < 2:
+                continue
+            share = (len(active) - 1) / len(active)
+            fetched = sum(m.executed_this_tick for m in active)
+            alignment = active[0].alignment
+            im_merged += alignment * share * fetched
+            dm_merged += (alignment * share
+                          * active[0].shared_read_fraction
+                          * sum(m.executed_this_tick * m.dm_rate
+                                for m in active))
+
+    # ------------------------------------------------------------------
+    # Aggregate.
+    # ------------------------------------------------------------------
+    total_executed = sum(state.executed for state in cores)
+    total_spin = sum(state.spin for state in cores)
+    total_fetch = total_executed + total_spin
+    total_dm = sum(state.dm_accesses for state in cores)
+    total_sync = sum(state.sync_ops for state in cores) if with_sync else 0.0
+    sync_writes = total_sync * SYNC_WRITE_FRACTION
+    wall_cycles = ticks * capacity
+
+    activity = ActivityVector(
+        cycles=wall_cycles,
+        core_active_cycles=total_fetch,
+        im_accesses=total_fetch - im_merged,
+        dm_accesses=total_dm - dm_merged + sync_writes,
+        interconnect_grants=total_fetch + total_dm + sync_writes,
+        sync_ops=total_sync,
+        cores_on=mapping.active_cores,
+        im_banks_on=len(mapping.im_banks_used),
+        dm_banks_on=mapping.dm_banks_active,
+        platform_cores=num_cores if multicore else 1,
+    )
+    power = compute_power(activity, point, multicore=multicore,
+                          params=energy, process=process)
+    return SimulationResult(
+        mode=mode,
+        mapping=mapping,
+        operating_point=point,
+        required_mhz=required,
+        activity=activity,
+        power=power,
+        im_broadcast_fraction=im_merged / total_fetch if total_fetch else 0.0,
+        dm_broadcast_fraction=dm_merged / total_dm if total_dm else 0.0,
+        runtime_overhead=total_sync / total_executed
+        if total_executed else 0.0,
+        max_latency_s=max_queue / point.cycles_per_second,
+        duration_s=duration_s,
+    )

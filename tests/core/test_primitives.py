@@ -1,0 +1,130 @@
+"""Tests for the protocol recipes (producer-consumer, lock-step, barrier)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.primitives import (
+    LockstepRegion,
+    ProducerConsumerChannel,
+    SenseBarrier,
+    SyncDomain,
+)
+from repro.core.syncpoint import SyncOp
+
+
+def test_producer_consumer_channel_happy_path():
+    domain = SyncDomain(num_cores=8)
+    channel = ProducerConsumerChannel(domain, point=0)
+
+    for producer in (0, 1, 2):
+        channel.begin_production(producer)
+    channel.register(4)
+    assert channel.wait(4) is True
+    assert domain.is_gated(4)
+
+    for producer in (0, 1):
+        channel.complete_production(producer)
+        assert domain.is_gated(4)
+    result = channel.complete_production(2)
+    assert 4 in result.woken
+    assert not domain.is_gated(4)
+
+
+def test_consumer_registering_after_data_ready_does_not_hang():
+    domain = SyncDomain(num_cores=8)
+    channel = ProducerConsumerChannel(domain, point=0)
+    channel.begin_production(0)
+    channel.complete_production(0)  # data ready before consumer arrives
+    channel.register(4)             # fires immediately (counter == 0)
+    assert channel.wait(4) is False
+    assert not domain.is_gated(4)
+
+
+def test_lockstep_region_releases_all_cores_together():
+    domain = SyncDomain(num_cores=8)
+    region = LockstepRegion(domain, point=1)
+    region.enter([0, 1, 2])
+
+    _, gated = region.leave(1)
+    assert gated
+    _, gated = region.leave(0)
+    assert gated
+    result, gated = region.leave(2)
+    assert not gated  # last core's SLEEP falls through via the latch
+    assert not any(domain.is_gated(core) for core in (0, 1, 2))
+
+
+def test_lockstep_single_core_region_is_transparent():
+    domain = SyncDomain(num_cores=4)
+    region = LockstepRegion(domain, point=0)
+    region.enter([2])
+    _, gated = region.leave(2)
+    assert not gated
+
+
+def test_sense_barrier_single_epoch():
+    domain = SyncDomain(num_cores=4)
+    barrier = SenseBarrier(domain, point_even=0, point_odd=1,
+                           parties=[0, 1, 2, 3])
+    barrier.prime()
+    assert barrier.arrive(0) is True
+    assert barrier.arrive(1) is True
+    assert barrier.arrive(2) is True
+    assert barrier.arrive(3) is False  # last arrival falls through
+    assert barrier.everyone_released()
+
+
+def test_sense_barrier_is_reusable_across_epochs():
+    domain = SyncDomain(num_cores=3)
+    barrier = SenseBarrier(domain, point_even=0, point_odd=1,
+                           parties=[0, 1, 2])
+    barrier.prime()
+    for _ in range(4):  # four consecutive epochs
+        for core in (0, 1):
+            assert barrier.arrive(core) is True
+        assert barrier.arrive(2) is False
+        assert barrier.everyone_released()
+
+
+def test_sense_barrier_rejects_duplicate_points():
+    domain = SyncDomain(num_cores=2)
+    with pytest.raises(ValueError):
+        SenseBarrier(domain, point_even=3, point_odd=3, parties=[0, 1])
+
+
+def test_sense_barrier_rejects_non_party():
+    domain = SyncDomain(num_cores=4)
+    barrier = SenseBarrier(domain, point_even=0, point_odd=1, parties=[0, 1])
+    with pytest.raises(ValueError):
+        barrier.arrive(3)
+
+
+@settings(max_examples=30)
+@given(st.permutations(list(range(5))), st.integers(min_value=2, max_value=5))
+def test_sense_barrier_any_arrival_order(order, parties_count):
+    """No arrival order may deadlock or double-release the barrier."""
+    parties = list(range(parties_count))
+    domain = SyncDomain(num_cores=5)
+    barrier = SenseBarrier(domain, point_even=0, point_odd=1,
+                           parties=parties)
+    barrier.prime()
+    arrival_order = [core for core in order if core in parties]
+    for index, core in enumerate(arrival_order):
+        slept = barrier.arrive(core)
+        is_last = index == len(arrival_order) - 1
+        assert slept != is_last
+    assert barrier.everyone_released()
+
+
+def test_step_merges_same_cycle_requests():
+    domain = SyncDomain(num_cores=8)
+    result = domain.step([
+        (0, SyncOp.SINC, 0),
+        (1, SyncOp.SINC, 0),
+        (1, SyncOp.SDEC, 0),
+        (0, SyncOp.SDEC, 0),
+    ])
+    # net delta zero with flags set -> fires immediately, nobody gated
+    assert set(result.woken) == set()  # both running -> latched
+    assert domain.synchronizer.has_pending_event(0)
+    assert domain.synchronizer.has_pending_event(1)

@@ -1,0 +1,200 @@
+"""Unit + property tests for synchronization point semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.syncpoint import (
+    SyncOp,
+    SyncPoint,
+    SyncPointLayout,
+    SyncProtocolError,
+    SyncRequest,
+    apply_update,
+    merge_requests,
+)
+
+LAYOUT = SyncPointLayout(num_cores=8, word_bits=16)
+
+
+def _requests(ops):
+    return [SyncRequest(core=c, op=o, point=0) for c, o in ops]
+
+
+# ---------------------------------------------------------------------------
+# Layout
+# ---------------------------------------------------------------------------
+
+def test_flags_occupy_msbs_counter_lsbs():
+    # Fig. 3: core 0's flag is the most significant bit.
+    assert LAYOUT.flag_bit(0) == 0x8000
+    assert LAYOUT.flag_bit(7) == 0x0100
+    assert LAYOUT.counter_mask == 0x00FF
+    assert LAYOUT.max_counter == 255
+
+
+def test_encode_decode_round_trip():
+    word = LAYOUT.encode(LAYOUT.flag_bit(2) | LAYOUT.flag_bit(5), 9)
+    flags, counter = LAYOUT.decode(word)
+    assert LAYOUT.cores_of(flags) == (2, 5)
+    assert counter == 9
+
+
+def test_layout_rejects_too_many_cores():
+    with pytest.raises(ValueError):
+        SyncPointLayout(num_cores=16, word_bits=16)
+
+
+def test_flag_bit_range_checked():
+    with pytest.raises(ValueError):
+        LAYOUT.flag_bit(8)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF))
+def test_decode_encode_round_trip_any_word(word):
+    flags, counter = LAYOUT.decode(word)
+    assert LAYOUT.encode(flags, counter) == word
+
+
+# ---------------------------------------------------------------------------
+# Merge reduction
+# ---------------------------------------------------------------------------
+
+def test_merge_matches_fig3a():
+    # cores 0,1,2 SINC; core 4 SNOP -> flags {0,1,2,4}, counter 3
+    update = merge_requests(LAYOUT, _requests([
+        (0, SyncOp.SINC), (1, SyncOp.SINC), (2, SyncOp.SINC),
+        (4, SyncOp.SNOP),
+    ]))
+    assert LAYOUT.cores_of(update.flag_mask) == (0, 1, 2, 4)
+    assert update.counter_delta == 3
+    assert update.merged_away == 3
+
+
+def test_merge_matches_fig3b():
+    # cores 0,1,2 SINC then core 0 SDEC -> flags {0,1,2}, counter 2
+    update = merge_requests(LAYOUT, _requests([
+        (0, SyncOp.SINC), (1, SyncOp.SINC), (2, SyncOp.SINC),
+        (0, SyncOp.SDEC),
+    ]))
+    assert LAYOUT.cores_of(update.flag_mask) == (0, 1, 2)
+    assert update.counter_delta == 2
+
+
+def test_merge_rejects_mixed_points():
+    batch = [SyncRequest(0, SyncOp.SINC, 0), SyncRequest(1, SyncOp.SINC, 1)]
+    with pytest.raises(ValueError):
+        merge_requests(LAYOUT, batch)
+
+
+def test_empty_merge_is_identity():
+    update = merge_requests(LAYOUT, [])
+    assert update.flag_mask == 0
+    assert update.counter_delta == 0
+    assert update.requests == 0
+
+
+_OPS = st.sampled_from([SyncOp.SINC, SyncOp.SDEC, SyncOp.SNOP])
+_BATCH = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=7), _OPS),
+    min_size=1, max_size=12)
+
+
+@given(_BATCH, st.randoms())
+def test_merge_is_order_independent(ops, rng):
+    """The hardware merge must not depend on arbitration order."""
+    batch = _requests(ops)
+    shuffled = list(batch)
+    rng.shuffle(shuffled)
+    merged_a = merge_requests(LAYOUT, batch)
+    merged_b = merge_requests(LAYOUT, shuffled)
+    assert merged_a.flag_mask == merged_b.flag_mask
+    assert merged_a.counter_delta == merged_b.counter_delta
+
+
+@given(_BATCH)
+def test_merge_counter_delta_is_sinc_minus_sdec(ops):
+    update = merge_requests(LAYOUT, _requests(ops))
+    sincs = sum(1 for _, op in ops if op is SyncOp.SINC)
+    sdecs = sum(1 for _, op in ops if op is SyncOp.SDEC)
+    assert update.counter_delta == sincs - sdecs
+
+
+@given(_BATCH)
+def test_merged_flags_cover_exactly_registering_cores(ops):
+    update = merge_requests(LAYOUT, _requests(ops))
+    registering = {c for c, op in ops if op is not SyncOp.SDEC}
+    assert set(LAYOUT.cores_of(update.flag_mask)) == registering
+
+
+# ---------------------------------------------------------------------------
+# Fire semantics
+# ---------------------------------------------------------------------------
+
+def test_point_fires_when_counter_returns_to_zero():
+    point = SyncPoint(LAYOUT)
+    point.apply(merge_requests(LAYOUT, _requests(
+        [(0, SyncOp.SINC), (1, SyncOp.SINC), (4, SyncOp.SNOP)])))
+    assert point.counter == 2
+    result = point.apply(merge_requests(LAYOUT, _requests(
+        [(0, SyncOp.SDEC)])))
+    assert not result.fired
+    result = point.apply(merge_requests(LAYOUT, _requests(
+        [(1, SyncOp.SDEC)])))
+    assert result.fired
+    assert result.woken_cores == (0, 1, 4)
+    assert point.flags == 0
+    assert point.counter == 0
+
+
+def test_registration_at_zero_counter_fires_immediately():
+    """A consumer that registers after data is ready must not hang."""
+    point = SyncPoint(LAYOUT)
+    result = point.apply(merge_requests(LAYOUT, _requests(
+        [(3, SyncOp.SNOP)])))
+    assert result.fired
+    assert result.woken_cores == (3,)
+
+
+def test_no_fire_without_requests():
+    point = SyncPoint(LAYOUT)
+    result = point.apply(merge_requests(LAYOUT, []))
+    assert not result.fired
+
+
+def test_strict_underflow_raises():
+    point = SyncPoint(LAYOUT, strict=True)
+    with pytest.raises(SyncProtocolError):
+        point.apply(merge_requests(LAYOUT, _requests([(0, SyncOp.SDEC)])))
+
+
+def test_permissive_underflow_saturates():
+    point = SyncPoint(LAYOUT, strict=False)
+    point.apply(merge_requests(LAYOUT, _requests([(0, SyncOp.SDEC)])))
+    assert point.counter == 0
+
+
+def test_strict_overflow_raises():
+    layout = SyncPointLayout(num_cores=8, word_bits=16)
+    word = layout.encode(0, layout.max_counter)
+    update = merge_requests(layout, _requests([(0, SyncOp.SINC)]))
+    with pytest.raises(SyncProtocolError):
+        apply_update(layout, word, update, strict=True)
+
+
+def test_registered_cores_reflect_flags():
+    point = SyncPoint(LAYOUT)
+    point.apply(merge_requests(LAYOUT, _requests(
+        [(2, SyncOp.SINC), (6, SyncOp.SNOP), (2, SyncOp.SINC)])))
+    assert point.registered_cores() == (2, 6)
+
+
+@given(_BATCH)
+def test_fire_always_clears_flags_and_zero_counter(ops):
+    point = SyncPoint(LAYOUT, strict=False)
+    result = point.apply(merge_requests(LAYOUT, _requests(ops)))
+    if result.fired:
+        assert point.flags == 0
+        assert point.counter == 0
+    word_flags, word_counter = LAYOUT.decode(point.word)
+    assert word_flags == point.flags
+    assert word_counter == point.counter

@@ -1,0 +1,24 @@
+"""Tests for the experiment command line (python -m repro.eval)."""
+
+import pytest
+
+from repro.eval.__main__ import main
+
+
+def test_cli_table1(capsys):
+    assert main(["table1", "--duration", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Avg. Power" in out
+    assert "3L-MMD" in out
+
+
+def test_cli_fig7(capsys):
+    assert main(["fig7", "--duration", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "reduction" in out
+    assert "100 %" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

@@ -1,0 +1,139 @@
+"""Tests for the Address Translation Units (private/shared DM split)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.atu import MulticoreAtu, SingleCoreTranslation
+from repro.hw.memory import MemoryFault
+from repro.isa.layout import DmGeometry, MemoryMap
+
+GEOM = DmGeometry(banks=16, words_per_bank=2048)
+MMAP = MemoryMap(private_words=2048, shared_words=15 * 1024,
+                 sync_point_base=0x4000, sync_points=64)
+
+
+@pytest.fixture()
+def atu() -> MulticoreAtu:
+    return MulticoreAtu(num_cores=8, geometry=GEOM, memory_map=MMAP)
+
+
+def test_private_addresses_get_per_core_tag(atu):
+    loc0 = atu.translate(0, 100)
+    loc1 = atu.translate(1, 100)
+    assert loc0 != loc1
+    assert loc0.bank in atu.banks_for_core_private(0)
+    assert loc1.bank in atu.banks_for_core_private(1)
+
+
+def test_shared_addresses_are_core_independent(atu):
+    address = MMAP.shared_base + 123
+    assert atu.translate(0, address) == atu.translate(7, address)
+
+
+def test_shared_section_interleaves_across_all_banks(atu):
+    banks = {atu.translate(0, MMAP.shared_base + offset).bank
+             for offset in range(GEOM.banks)}
+    assert banks == set(range(GEOM.banks))
+
+
+def test_consecutive_shared_words_land_in_consecutive_banks(atu):
+    first = atu.translate(0, MMAP.shared_base)
+    second = atu.translate(0, MMAP.shared_base + 1)
+    assert second.bank == (first.bank + 1) % GEOM.banks
+
+
+def test_peripheral_addresses_rejected(atu):
+    with pytest.raises(MemoryFault, match="memory-mapped"):
+        atu.translate(0, 0x7F00)
+
+
+def test_unmapped_hole_rejected(atu):
+    with pytest.raises(MemoryFault, match="unmapped"):
+        atu.translate(0, MMAP.shared_limit)
+
+
+def test_sync_points_translate_through_shared_path(atu):
+    location = atu.shared_location(MMAP.sync_point_address(5))
+    assert 0 <= location.bank < GEOM.banks
+    assert atu.translate(3, MMAP.sync_point_address(5)) == location
+
+
+def test_shared_location_rejects_private(atu):
+    with pytest.raises(MemoryFault, match="outside the shared"):
+        atu.shared_location(10)
+
+
+_CORES = st.integers(min_value=0, max_value=7)
+_MAPPED = st.integers(min_value=0, max_value=MMAP.shared_limit - 1)
+
+
+@given(_CORES, _MAPPED)
+def test_translation_targets_valid_physical_locations(core, address):
+    atu = MulticoreAtu(num_cores=8, geometry=GEOM, memory_map=MMAP)
+    location = atu.translate(core, address)
+    assert 0 <= location.bank < GEOM.banks
+    assert 0 <= location.index < GEOM.words_per_bank
+
+
+@given(_CORES, _CORES,
+       st.integers(min_value=0, max_value=MMAP.private_words - 1),
+       st.integers(min_value=0, max_value=MMAP.private_words - 1))
+def test_private_sections_never_collide_across_cores(core_a, core_b,
+                                                     addr_a, addr_b):
+    """Isolation invariant: distinct cores' private words are disjoint."""
+    atu = MulticoreAtu(num_cores=8, geometry=GEOM, memory_map=MMAP)
+    if core_a == core_b:
+        return
+    assert atu.translate(core_a, addr_a) != atu.translate(core_b, addr_b)
+
+
+@given(_CORES,
+       st.integers(min_value=0, max_value=MMAP.private_words - 1),
+       st.integers(min_value=MMAP.shared_base,
+                   max_value=MMAP.shared_limit - 1))
+def test_private_and_shared_never_collide(core, private_addr, shared_addr):
+    """A private word and a shared word never alias physically."""
+    atu = MulticoreAtu(num_cores=8, geometry=GEOM, memory_map=MMAP)
+    assert atu.translate(core, private_addr) != \
+        atu.translate(core, shared_addr)
+
+
+@given(_CORES, _MAPPED, _MAPPED)
+def test_translation_is_injective_per_core(core, addr_a, addr_b):
+    atu = MulticoreAtu(num_cores=8, geometry=GEOM, memory_map=MMAP)
+    if addr_a == addr_b:
+        return
+    assert atu.translate(core, addr_a) != atu.translate(core, addr_b)
+
+
+def test_atu_rejects_oversized_shared_section():
+    with pytest.raises(ValueError, match="exceeds"):
+        MulticoreAtu(num_cores=8, geometry=GEOM,
+                     memory_map=MemoryMap(private_words=2048,
+                                          shared_words=31 * 1024,
+                                          sync_point_base=0x4000))
+
+
+def test_atu_rejects_indivisible_bank_count():
+    with pytest.raises(ValueError, match="not divisible"):
+        MulticoreAtu(num_cores=3, geometry=GEOM, memory_map=MMAP)
+
+
+def test_single_core_translation_is_linear():
+    translation = SingleCoreTranslation(GEOM, MMAP)
+    location = translation.translate(0, 5000)
+    assert location.bank == 5000 // 2048
+    assert location.index == 5000 % 2048
+
+
+def test_single_core_footprint_banks():
+    translation = SingleCoreTranslation(GEOM, MMAP)
+    assert translation.banks_for_footprint(100) == {0}
+    assert translation.banks_for_footprint(2048) == {0, 1}
+    assert translation.banks_for_footprint(3 * 2048) == {0, 1, 2, 3}
+
+
+def test_single_core_rejects_peripheral_and_overflow():
+    translation = SingleCoreTranslation(GEOM, MMAP)
+    with pytest.raises(MemoryFault):
+        translation.translate(0, 0x7F10)

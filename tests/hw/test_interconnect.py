@@ -1,0 +1,134 @@
+"""Tests for the broadcasting crossbar and its arbitration."""
+
+from hypothesis import given, strategies as st
+
+from repro.hw.interconnect import Crossbar, MemRequest
+
+
+def _read(port, bank, index):
+    return MemRequest(port=port, bank=bank, index=index)
+
+
+def _write(port, bank, index, value):
+    return MemRequest(port=port, bank=bank, index=index, is_write=True,
+                      value=value)
+
+
+def test_same_address_reads_merge_into_one_access():
+    xbar = Crossbar(ports=4, banks=2)
+    result = xbar.arbitrate([_read(0, 0, 5), _read(1, 0, 5), _read(2, 0, 5)])
+    assert len(result.granted) == 1
+    assert result.granted[0].broadcast_extra == 2
+    assert not result.stalled
+    assert xbar.stats.accesses == 1
+    assert xbar.stats.broadcast_merged == 2
+    assert xbar.stats.broadcast_fraction == 2 / 3
+
+
+def test_different_addresses_same_bank_conflict():
+    xbar = Crossbar(ports=4, banks=2)
+    result = xbar.arbitrate([_read(0, 0, 5), _read(1, 0, 6)])
+    assert len(result.granted) == 1
+    assert len(result.stalled) == 1
+    assert xbar.stats.conflicts == 1
+
+
+def test_different_banks_do_not_conflict():
+    xbar = Crossbar(ports=4, banks=4)
+    result = xbar.arbitrate([_read(0, 0, 5), _read(1, 1, 5),
+                             _read(2, 2, 9)])
+    assert len(result.granted) == 3
+    assert not result.stalled
+
+
+def test_writes_never_merge():
+    xbar = Crossbar(ports=4, banks=2)
+    result = xbar.arbitrate([_write(0, 0, 5, 1), _write(1, 0, 5, 2)])
+    assert len(result.granted) == 1
+    assert len(result.stalled) == 1
+    assert xbar.stats.broadcast_merged == 0
+
+
+def test_broadcast_disabled_serialises_same_address_reads():
+    xbar = Crossbar(ports=4, banks=2, broadcast=False)
+    result = xbar.arbitrate([_read(0, 0, 5), _read(1, 0, 5)])
+    assert len(result.granted) == 1
+    assert len(result.stalled) == 1
+    assert xbar.stats.broadcast_merged == 0
+
+
+def test_round_robin_is_fair_over_time():
+    """Two ports fighting for one bank must alternate grants."""
+    xbar = Crossbar(ports=2, banks=1)
+    winners = []
+    for _ in range(10):
+        result = xbar.arbitrate([_read(0, 0, 1), _read(1, 0, 2)])
+        winners.append(result.granted[0].requests[0].port)
+    assert winners.count(0) == 5
+    assert winners.count(1) == 5
+
+
+def test_single_port_never_conflicts():
+    xbar = Crossbar(ports=1, banks=4)
+    for index in range(20):
+        result = xbar.arbitrate([_read(0, index % 4, index)])
+        assert not result.stalled
+    assert xbar.stats.conflicts == 0
+    assert xbar.stats.broadcast_fraction == 0.0
+
+
+_REQS = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 3), st.integers(0, 5),
+              st.booleans()),
+    min_size=0, max_size=16)
+
+
+@given(_REQS)
+def test_every_request_is_granted_or_stalled_exactly_once(spec):
+    """Conservation: requests are never lost or duplicated."""
+    # At most one request per port per cycle, like real cores.
+    seen_ports = set()
+    requests = []
+    for port, bank, index, is_write in spec:
+        if port in seen_ports:
+            continue
+        seen_ports.add(port)
+        requests.append(MemRequest(port=port, bank=bank, index=index,
+                                   is_write=is_write))
+    xbar = Crossbar(ports=8, banks=4)
+    result = xbar.arbitrate(requests)
+    granted_ports = [request.port for group in result.granted
+                     for request in group.requests]
+    stalled_ports = [request.port for request in result.stalled]
+    assert sorted(granted_ports + stalled_ports) == \
+        sorted(request.port for request in requests)
+    assert len(set(granted_ports) & set(stalled_ports)) == 0
+
+
+@given(_REQS)
+def test_at_most_one_access_per_bank_per_cycle(spec):
+    seen_ports = set()
+    requests = []
+    for port, bank, index, is_write in spec:
+        if port in seen_ports:
+            continue
+        seen_ports.add(port)
+        requests.append(MemRequest(port=port, bank=bank, index=index,
+                                   is_write=is_write))
+    xbar = Crossbar(ports=8, banks=4)
+    result = xbar.arbitrate(requests)
+    banks = [group.bank for group in result.granted]
+    assert len(banks) == len(set(banks))
+
+
+def test_stalled_requests_eventually_complete():
+    """Replaying stalled requests drains any backlog."""
+    xbar = Crossbar(ports=4, banks=1)
+    outstanding = [_read(p, 0, p) for p in range(4)]  # all conflict
+    rounds = 0
+    while outstanding:
+        result = xbar.arbitrate(outstanding)
+        outstanding = list(result.stalled)
+        rounds += 1
+        assert rounds <= 4
+    assert rounds == 4

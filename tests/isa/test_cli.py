@@ -1,0 +1,35 @@
+"""Tests for the assembler command-line front end."""
+
+import pytest
+
+from repro.isa.__main__ import main
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+        .equ SP, 3
+        main:
+            sinc SP
+            sdec SP
+            halt
+    """)
+    return path
+
+
+def test_cli_prints_listing(source_file, capsys):
+    assert main([str(source_file)]) == 0
+    out = capsys.readouterr().out
+    assert "sinc 3" in out
+    assert "sdec 3" in out
+    assert "halt" in out
+    assert "2 sync instructions" in out
+    assert "entry points: core 0" in out
+
+
+def test_cli_symbols_flag(source_file, capsys):
+    assert main([str(source_file), "--symbols"]) == 0
+    out = capsys.readouterr().out
+    assert "main" in out
+    assert "SP" in out

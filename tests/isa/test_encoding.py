@@ -1,0 +1,118 @@
+"""Unit and property tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import Instruction, decode, encode
+from repro.isa.errors import EncodingError
+from repro.isa.spec import (
+    IMM_BITS,
+    INSTR_MASK,
+    JUMP_ADDR_BITS,
+    OP_TABLE,
+    SYNC_LIT_BITS,
+    Format,
+    Op,
+)
+
+_REG = st.integers(min_value=0, max_value=7)
+_IMM12 = st.integers(min_value=-(1 << (IMM_BITS - 1)),
+                     max_value=(1 << (IMM_BITS - 1)) - 1)
+_ADDR15 = st.integers(min_value=0, max_value=(1 << JUMP_ADDR_BITS) - 1)
+_IMM8 = st.integers(min_value=0, max_value=255)
+_LIT16 = st.integers(min_value=0, max_value=(1 << SYNC_LIT_BITS) - 1)
+
+_OPS_BY_FMT = {
+    fmt: [op for op, info in OP_TABLE.items() if info.fmt is fmt]
+    for fmt in Format
+}
+
+
+@st.composite
+def instructions(draw) -> Instruction:
+    """Random well-formed instructions across all formats."""
+    fmt = draw(st.sampled_from(list(Format)))
+    op = draw(st.sampled_from(_OPS_BY_FMT[fmt]))
+    if fmt is Format.R:
+        return Instruction(op, rd=draw(_REG), ra=draw(_REG), rb=draw(_REG))
+    if fmt is Format.I:
+        return Instruction(op, rd=draw(_REG), ra=draw(_REG),
+                           imm=draw(_IMM12))
+    if fmt is Format.S:
+        return Instruction(op, rb=draw(_REG), ra=draw(_REG),
+                           imm=draw(_IMM12))
+    if fmt is Format.B:
+        return Instruction(op, ra=draw(_REG), rb=draw(_REG),
+                           imm=draw(_IMM12))
+    if fmt is Format.J:
+        return Instruction(op, rd=draw(_REG), imm=draw(_ADDR15))
+    if fmt is Format.U:
+        return Instruction(op, rd=draw(_REG), imm=draw(_IMM8))
+    if fmt is Format.Y:
+        return Instruction(op, imm=draw(_LIT16))
+    return Instruction(op)
+
+
+@given(instructions())
+def test_encode_decode_round_trip(instr):
+    word = encode(instr)
+    assert 0 <= word <= INSTR_MASK
+    assert decode(word) == instr
+
+
+@given(instructions())
+def test_encoding_is_24_bit(instr):
+    assert encode(instr) <= 0xFFFFFF
+
+
+def test_sync_instructions_have_expected_opcodes():
+    assert encode(Instruction(Op.SINC, imm=5)) >> 18 == 0x30
+    assert encode(Instruction(Op.SDEC, imm=5)) >> 18 == 0x31
+    assert encode(Instruction(Op.SNOP, imm=5)) >> 18 == 0x32
+    assert encode(Instruction(Op.SLEEP)) >> 18 == 0x33
+
+
+def test_immediate_overflow_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADDI, rd=1, ra=1, imm=1 << 11))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADDI, rd=1, ra=1, imm=-(1 << 11) - 1))
+
+
+def test_register_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADD, rd=8, ra=0, rb=0))
+
+
+def test_jump_target_overflow_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.JAL, rd=0, imm=1 << 15))
+
+
+def test_sync_literal_overflow_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.SINC, imm=1 << 16))
+
+
+def test_illegal_opcode_rejected():
+    # opcode 0x3E is unassigned
+    with pytest.raises(EncodingError):
+        decode(0x3E << 18)
+
+
+def test_decode_rejects_oversized_words():
+    with pytest.raises(EncodingError):
+        decode(1 << 24)
+
+
+def test_negative_immediate_round_trip():
+    instr = Instruction(Op.ADDI, rd=3, ra=2, imm=-1)
+    assert decode(encode(instr)).imm == -1
+
+
+def test_store_format_keeps_source_and_base_apart():
+    instr = Instruction(Op.SW, rb=3, ra=5, imm=-7)
+    decoded = decode(encode(instr))
+    assert decoded.rb == 3
+    assert decoded.ra == 5
+    assert decoded.imm == -7

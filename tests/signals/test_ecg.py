@@ -1,0 +1,115 @@
+"""Tests for the synthetic ECG generator (CSE substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    BeatLabel,
+    EcgConfig,
+    NoiseProfile,
+    cse_like_record,
+    rp_class_record,
+    synthesize_ecg,
+)
+
+
+def test_basic_record_shape():
+    record = cse_like_record(duration_s=10.0, num_leads=3)
+    assert record.num_leads == 3
+    assert record.num_samples == 2500
+    assert record.duration_s == pytest.approx(10.0)
+    record.validate()
+
+
+def test_heart_rate_produces_expected_beat_count():
+    record = synthesize_ecg(EcgConfig(duration_s=60.0,
+                                      heart_rate_bpm=72.0))
+    # ~72 beats in a minute, minus edge effects.
+    assert 65 <= len(record.annotations) <= 75
+
+
+def test_generation_is_deterministic():
+    a = synthesize_ecg(EcgConfig(duration_s=5.0, seed=7))
+    b = synthesize_ecg(EcgConfig(duration_s=5.0, seed=7))
+    for lead_a, lead_b in zip(a.leads, b.leads):
+        assert np.array_equal(lead_a, lead_b)
+    assert a.annotations == b.annotations
+
+
+def test_different_seeds_differ():
+    a = synthesize_ecg(EcgConfig(duration_s=5.0, seed=1))
+    b = synthesize_ecg(EcgConfig(duration_s=5.0, seed=2))
+    assert not np.array_equal(a.leads[0], b.leads[0])
+
+
+def test_leads_are_correlated_projections():
+    record = cse_like_record(duration_s=20.0, num_leads=2)
+    lead0 = record.leads[0].astype(float)
+    lead1 = record.leads[1].astype(float)
+    correlation = np.corrcoef(lead0, lead1)[0, 1]
+    assert abs(correlation) > 0.5  # same heart, different projection
+
+
+def test_pathological_ratio_is_honoured():
+    for ratio in (0.0, 0.2, 0.5, 1.0):
+        record = rp_class_record(duration_s=60.0, pathological_ratio=ratio)
+        assert record.pathological_ratio() == pytest.approx(ratio, abs=0.04)
+
+
+def test_uniform_pathology_is_spread_out():
+    record = synthesize_ecg(EcgConfig(
+        duration_s=60.0, pathological_ratio=0.2, uniform_pathology=True))
+    abnormal = [i for i, beat in enumerate(record.annotations)
+                if beat.is_pathological]
+    gaps = np.diff(abnormal)
+    assert len(abnormal) > 5
+    # Uniform placement: roughly every 5th beat, never adjacent runs.
+    assert gaps.min() >= 3
+    assert gaps.max() <= 8
+
+
+def test_pvc_beats_have_wider_taller_complexes():
+    record = synthesize_ecg(EcgConfig(
+        duration_s=60.0, pathological_ratio=0.2,
+        noise=NoiseProfile(baseline_wander=0.0, powerline=0.0,
+                           muscle=0.0)))
+    lead = record.leads[0].astype(np.int64)
+    normal_amp, pvc_amp = [], []
+    for beat in record.annotations:
+        lo = max(0, beat.sample - 25)
+        hi = min(len(lead), beat.sample + 25)
+        amplitude = np.abs(lead[lo:hi]).max()
+        if beat.label is BeatLabel.PVC:
+            pvc_amp.append(amplitude)
+        else:
+            normal_amp.append(amplitude)
+    assert np.mean(pvc_amp) > 1.15 * np.mean(normal_amp)
+
+
+def test_samples_fit_int16():
+    record = synthesize_ecg(EcgConfig(duration_s=10.0))
+    for lead in record.leads:
+        assert lead.dtype == np.int16
+
+
+def test_annotations_sorted_and_in_range():
+    record = rp_class_record(duration_s=30.0, pathological_ratio=0.3)
+    samples = [beat.sample for beat in record.annotations]
+    assert samples == sorted(samples)
+    assert all(0 <= s < record.num_samples for s in samples)
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        synthesize_ecg(EcgConfig(pathological_ratio=1.5))
+    with pytest.raises(ValueError):
+        synthesize_ecg(EcgConfig(num_leads=0))
+
+
+def test_baseline_wander_is_present():
+    """The raw signal must contain drift for the MF stage to remove."""
+    record = cse_like_record(duration_s=30.0, num_leads=1)
+    lead = record.leads[0].astype(float)
+    # Mean over 2-second blocks drifts when wander is present.
+    blocks = lead[:28 * 250].reshape(14, -1).mean(axis=1)
+    assert blocks.std() > 30  # ADC counts
