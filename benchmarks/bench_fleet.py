@@ -1,0 +1,77 @@
+"""EXP-NET benchmark: fleet throughput, serial vs. parallel.
+
+Measures nodes-per-second of the :class:`repro.net.fleet.FleetRunner`
+on the ``drifting-wearables`` scenario and the speedup of the sharded
+multiprocessing path over serial execution.  On a machine with 4+
+cores the parallel path should clear 2x; the script prints honest
+numbers either way (CI containers are often single-core).
+
+Run with::
+
+    pytest benchmarks/bench_fleet.py --benchmark-only
+    python benchmarks/bench_fleet.py          # plain speedup table
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))  # plain-script runs
+from conftest import BENCH_DURATION_S  # noqa: E402
+
+from repro.net.fleet import run_fleet  # noqa: E402
+
+#: Fleet size of the throughput benchmark.
+BENCH_NODES = 64
+
+#: Simulated seconds per node (shorter than the single-node benches:
+#: the fleet multiplies per-node work by BENCH_NODES).
+FLEET_DURATION_S = min(BENCH_DURATION_S, 10.0)
+
+
+def _run(workers: int, nodes: int = BENCH_NODES):
+    return run_fleet("drifting-wearables", n_nodes=nodes,
+                     duration_s=FLEET_DURATION_S, seed=1,
+                     workers=workers)
+
+
+def test_fleet_serial_throughput(benchmark):
+    """Time the serial fleet and report nodes/second."""
+    result = benchmark(_run, 1)
+    assert result.summary.n_nodes == BENCH_NODES
+    assert result.nodes_per_second > 0
+    print(f"\nserial: {result.nodes_per_second:.1f} nodes/s")
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_fleet_parallel_throughput(benchmark, workers):
+    """Time the sharded multiprocessing fleet."""
+    result = benchmark(_run, workers)
+    assert result.mode == "parallel"
+    assert result.summary == _run(1).summary  # determinism while timing
+    print(f"\n{workers} workers: {result.nodes_per_second:.1f} nodes/s")
+
+
+def main() -> int:
+    """Plain-script mode: print a serial-vs-parallel speedup table."""
+    cpus = os.cpu_count() or 1
+    print(f"fleet throughput: {BENCH_NODES} nodes x "
+          f"{FLEET_DURATION_S:g} s ECG (drifting-wearables), "
+          f"{cpus} CPU(s) available")
+    serial = _run(1)
+    print(f"  workers  1  {serial.nodes_per_second:8.1f} nodes/s  "
+          f"(serial, {serial.elapsed_s:.2f} s)")
+    for workers in (2, 4, 8):
+        result = _run(workers)
+        speedup = (serial.elapsed_s / result.elapsed_s
+                   if result.elapsed_s > 0 else 0.0)
+        match = "ok" if result.summary == serial.summary else "MISMATCH"
+        print(f"  workers {workers:2d}  "
+              f"{result.nodes_per_second:8.1f} nodes/s  "
+              f"({speedup:.2f}x vs serial, results {match})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""Fleet time-sync demo: drifting wearables, three protocols.
+
+Simulates the ``drifting-wearables`` scenario — battery-powered ECG
+wearables with cheap, fast-drifting crystals — twice with the same
+fleet seed (so the *same* clocks and radios), changing only the
+inter-node sync protocol:
+
+* ``rbs``  — offset jump to each periodic reference broadcast,
+* ``ftsp`` — FTSP-style offset + skew regression over beacon history.
+
+The free-running ``none`` baseline costs nothing extra: every fleet
+run records the raw-local-clock error alongside its protocol in the
+same replay.
+
+The steady-state residual error table shows why skew estimation
+matters once beacons are sparse, and the power column shows what the
+radio traffic costs next to the node's cores and memories.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_timesync.py
+"""
+
+from repro.net import run_fleet
+
+SCENARIO = "drifting-wearables"
+NODES = 24
+DURATION_S = 20.0
+SEED = 2014
+
+
+def main() -> None:
+    results = {
+        protocol: run_fleet(SCENARIO, n_nodes=NODES,
+                            duration_s=DURATION_S, seed=SEED,
+                            protocol=protocol)
+        for protocol in ("rbs", "ftsp")
+    }
+    # Both runs record the same free-running counterfactual; read the
+    # "none" row from either.
+    summaries = {"none": results["rbs"].summary,
+                 "rbs": results["rbs"].summary,
+                 "ftsp": results["ftsp"].summary}
+    base = summaries["none"].steady_unsync
+
+    print(f"{SCENARIO}: {NODES} nodes, {DURATION_S:g} s of ECG each, "
+          f"{summaries['none'].beacons_sent} sync beacons")
+    print(f"{'protocol':<10}{'steady err mean':>17}"
+          f"{'steady err max':>16}{'improvement':>13}"
+          f"{'node power':>12}{'radio':>8}")
+    for protocol, summary in summaries.items():
+        steady = (base if protocol == "none" else summary.steady_sync)
+        improvement = (base.mean_abs_s / steady.mean_abs_s
+                       if steady.mean_abs_s > 0 else float("inf"))
+        print(f"{protocol:<10}"
+              f"{steady.mean_abs_s * 1e3:>14.3f} ms"
+              f"{steady.max_abs_s * 1e3:>13.3f} ms"
+              f"{improvement:>11.1f} x"
+              f"{summary.mean_power_uw:>9.1f} uW"
+              f"{summary.mean_radio_uw:>5.1f} uW")
+
+    ftsp = summaries["ftsp"]
+    gain = base.mean_abs_s / ftsp.steady_sync.mean_abs_s
+    print(f"\nunsynchronized wearables drift "
+          f"{base.mean_abs_s * 1e3:.1f} ms apart; "
+          f"ftsp holds them to "
+          f"{ftsp.steady_sync.mean_abs_s * 1e3:.3f} ms "
+          f"({gain:.0f}x tighter) for "
+          f"{ftsp.mean_radio_uw:.1f} uW of radio per node.")
+    assert gain >= 10.0, "sync should beat free-running drift by >= 10x"
+
+
+if __name__ == "__main__":
+    main()

@@ -10,10 +10,14 @@ from .ablations import (
 )
 from .fig6 import Fig6Group, run_fig6, run_group
 from .fig7 import Fig7Point, run_fig7
+from .netexp import NET_DURATION_S, NetReport, run_net
 from .report import (
+    FleetSummary,
+    SyncError,
     render_ablations,
     render_fig6,
     render_fig7,
+    render_net,
     render_table1,
 )
 from .runconfig import (
@@ -33,7 +37,11 @@ __all__ = [
     "FIG7_RATIOS",
     "Fig6Group",
     "Fig7Point",
+    "FleetSummary",
+    "NET_DURATION_S",
+    "NetReport",
     "PAPER_TABLE1",
+    "SyncError",
     "TABLE1_PATHOLOGICAL_RATIO",
     "Table1Column",
     "ablate_broadcast",
@@ -44,6 +52,7 @@ __all__ = [
     "render_ablations",
     "render_fig6",
     "render_fig7",
+    "render_net",
     "render_table1",
     "rp_case",
     "run_all_ablations",
@@ -51,5 +60,6 @@ __all__ = [
     "run_fig6",
     "run_fig7",
     "run_group",
+    "run_net",
     "run_table1",
 ]

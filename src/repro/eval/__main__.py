@@ -6,6 +6,7 @@ Usage::
     python -m repro.eval fig6
     python -m repro.eval fig7
     python -m repro.eval ablations
+    python -m repro.eval net [--scenario S] [--nodes N] [--workers W]
     python -m repro.eval all
 """
 
@@ -13,17 +14,43 @@ from __future__ import annotations
 
 import argparse
 
+from ..net.fleet import DEFAULT_SEED
+from ..net.scenarios import SCENARIOS
+from ..net.timesync import PROTOCOLS
 from .ablations import run_all_ablations
 from .fig6 import run_fig6
 from .fig7 import run_fig7
+from .netexp import NET_DURATION_S, run_net
 from .report import (
     render_ablations,
     render_fig6,
     render_fig7,
+    render_net,
     render_table1,
 )
 from .runconfig import DURATION_S
 from .table1 import run_table1
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,22 +60,59 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduce the paper's tables and figures.")
     parser.add_argument(
         "experiment",
-        choices=("table1", "fig6", "fig7", "ablations", "all"),
+        choices=("table1", "fig6", "fig7", "ablations", "net", "all"),
         help="which artifact to regenerate")
     parser.add_argument(
-        "--duration", type=float, default=DURATION_S,
-        help="simulated seconds (default: the paper's 60 s)")
+        "--duration", type=_positive_float, default=None,
+        help="simulated seconds (default: the paper's 60 s; "
+             f"{NET_DURATION_S:g} s for the network experiment)")
+    parser.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), default=None,
+        help="fleet scenario of the network experiment "
+             "(default: drifting-wearables)")
+    parser.add_argument(
+        "--nodes", type=_nonnegative_int, default=None,
+        help="fleet size (default: the scenario preset)")
+    parser.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default=None,
+        help="override the scenario's sync protocol")
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="worker processes of the fleet runner (default: 1)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help=f"fleet seed of the network experiment "
+             f"(default: {DEFAULT_SEED})")
     args = parser.parse_args(argv)
+    duration = DURATION_S if args.duration is None else args.duration
+    if args.experiment not in ("net", "all"):
+        net_flags = {"--scenario": args.scenario, "--nodes": args.nodes,
+                     "--protocol": args.protocol,
+                     "--workers": args.workers, "--seed": args.seed}
+        misused = [flag for flag, value in net_flags.items()
+                   if value is not None]
+        if misused:
+            parser.error(f"{', '.join(misused)} only apply(ies) to "
+                         f"the net experiment")
 
     sections: list[str] = []
     if args.experiment in ("table1", "all"):
-        sections.append(render_table1(run_table1(args.duration)))
+        sections.append(render_table1(run_table1(duration)))
     if args.experiment in ("fig6", "all"):
-        sections.append(render_fig6(run_fig6(args.duration)))
+        sections.append(render_fig6(run_fig6(duration)))
     if args.experiment in ("fig7", "all"):
-        sections.append(render_fig7(run_fig7(duration_s=args.duration)))
+        sections.append(render_fig7(run_fig7(duration_s=duration)))
     if args.experiment in ("ablations", "all"):
-        sections.append(render_ablations(run_all_ablations(args.duration)))
+        sections.append(render_ablations(run_all_ablations(duration)))
+    if args.experiment in ("net", "all"):
+        net_duration = (NET_DURATION_S if args.duration is None
+                        else args.duration)
+        sections.append(render_net(run_net(
+            scenario=args.scenario or "drifting-wearables",
+            n_nodes=args.nodes,
+            duration_s=net_duration, protocol=args.protocol,
+            workers=args.workers or 1,
+            seed=DEFAULT_SEED if args.seed is None else args.seed)))
     print("\n\n".join(sections))
     return 0
 

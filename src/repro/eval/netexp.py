@@ -1,0 +1,77 @@
+"""EXP-NET: fleet-level network experiment.
+
+The network analogue of the paper's Table I comparison: one scenario
+is simulated once, and every node records *two* error streams from
+the same replay — its sync protocol's residual error and the
+free-running counterfactual (raw local clock).  Comparing the two
+steady-state figures costs a single fleet run; the expensive per-node
+ECG/power simulation is never duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.fleet import (
+    DEFAULT_DURATION_S,
+    DEFAULT_SEED,
+    FleetResult,
+    run_fleet,
+)
+from ..net.stats import SyncError
+
+#: Default simulated seconds of the network experiment (the fleet
+#: runner's own default; re-exported under the experiment's name).
+NET_DURATION_S = DEFAULT_DURATION_S
+
+
+@dataclass(frozen=True)
+class NetReport:
+    """Synced-vs-free-running comparison of one scenario.
+
+    Attributes:
+        scenario: scenario name.
+        result: the fleet run (its summary carries both the synced
+            and the free-running error statistics).
+    """
+
+    scenario: str
+    result: FleetResult
+
+    @property
+    def synced(self) -> SyncError:
+        """Steady-state error under the scenario's sync protocol."""
+        return self.result.summary.steady_sync
+
+    @property
+    def unsynced(self) -> SyncError:
+        """Steady-state error of the free-running counterfactual."""
+        return self.result.summary.steady_unsync
+
+    @property
+    def improvement(self) -> float:
+        """Steady-state mean |error| ratio, unsynced / synced."""
+        if self.synced.mean_abs_s <= 0.0:
+            return float("inf") if self.unsynced.mean_abs_s > 0.0 else 1.0
+        return self.unsynced.mean_abs_s / self.synced.mean_abs_s
+
+
+def run_net(scenario: str = "drifting-wearables",
+            n_nodes: int | None = None,
+            duration_s: float = NET_DURATION_S,
+            protocol: str | None = None,
+            workers: int = 1,
+            seed: int = DEFAULT_SEED) -> NetReport:
+    """Run one scenario and report synced vs. free-running error.
+
+    Args:
+        scenario: preset name (see :data:`repro.net.scenarios.SCENARIOS`).
+        n_nodes: fleet size; defaults to the preset's size.
+        duration_s: simulated seconds of ECG per node.
+        protocol: override the preset's sync protocol.
+        workers: worker processes of the fleet runner.
+        seed: fleet seed.
+    """
+    result = run_fleet(scenario, n_nodes=n_nodes, duration_s=duration_s,
+                       seed=seed, protocol=protocol, workers=workers)
+    return NetReport(scenario=result.summary.scenario, result=result)

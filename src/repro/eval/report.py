@@ -7,11 +7,23 @@ numbers alongside for comparison.
 
 from __future__ import annotations
 
+from ..net.stats import FleetSummary, SyncError
 from ..power.energy import CATEGORIES
 from .ablations import AblationResult
 from .fig6 import Fig6Group
 from .fig7 import Fig7Point
+from .netexp import NetReport
 from .table1 import PAPER_TABLE1, Table1Column
+
+__all__ = [
+    "FleetSummary",
+    "SyncError",
+    "render_ablations",
+    "render_fig6",
+    "render_fig7",
+    "render_net",
+    "render_table1",
+]
 
 _TABLE1_ROWS: tuple[tuple[str, str, str], ...] = (
     # (row label, dict key or pair, format)
@@ -115,6 +127,62 @@ def render_fig7(points: list[Fig7Point]) -> str:
             f"{point.reduction * 100:10.1f} %")
     lines.append("Paper: 17 % reduction at 0 %, growing to ~38 % "
                  "in the best case.")
+    return "\n".join(lines)
+
+
+_NET_ROWS: tuple[tuple[str, str, str, str], ...] = (
+    # (row label, "no sync" attribute path, protocol attribute path,
+    # format) — same row-driven layout as Table I, so both reports
+    # format through :func:`_fmt`.  Power and radio rows repeat the
+    # same value: the fleets are identical, only the estimator
+    # differs.
+    ("Mean node power (uW)", "mean_power_uw", "mean_power_uw", "f1"),
+    ("Radio power (uW)", "mean_radio_uw", "mean_radio_uw", "f2"),
+    ("Beacons sent", "beacons_sent", "beacons_sent", "int"),
+    ("Beacons heard", "beacons_heard", "beacons_heard", "int"),
+    ("Power-loss resets", "power_loss_resets", "power_loss_resets",
+     "int"),
+    ("Sync err mean (ms)", "unsync.mean_abs_s", "sync.mean_abs_s", "ms"),
+    ("Sync err RMS (ms)", "unsync.rms_s", "sync.rms_s", "ms"),
+    ("Steady err mean (ms)", "steady_unsync.mean_abs_s",
+     "steady_sync.mean_abs_s", "ms"),
+    ("Steady err max (ms)", "steady_unsync.max_abs_s",
+     "steady_sync.max_abs_s", "ms"),
+)
+
+
+def _summary_value(summary: FleetSummary, path: str) -> float:
+    value = summary
+    for attr in path.split("."):
+        value = getattr(value, attr)
+    return value
+
+
+def render_net(report: NetReport) -> str:
+    """Render the network experiment as a two-column comparison."""
+    summary = report.result.summary
+    lines = [
+        f"Network: {report.scenario} "
+        f"({summary.n_nodes} nodes, {summary.duration_s:g} s, "
+        f"{report.result.workers} worker(s), {report.result.mode})",
+        "  " + "Metric".ljust(24)
+        + "no sync".rjust(12) + summary.protocol.rjust(12),
+    ]
+    lines.append("  " + "-" * 46)
+    for label, unsync_path, sync_path, kind in _NET_ROWS:
+        scale = 1e3 if kind == "ms" else 1.0
+        fmt = "f2" if kind == "ms" else kind
+        lines.append(
+            "  " + label.ljust(24)
+            + _fmt(_summary_value(summary, unsync_path) * scale,
+                   fmt).rjust(12)
+            + _fmt(_summary_value(summary, sync_path) * scale,
+                   fmt).rjust(12))
+    lines.append(f"  steady-state error reduced {report.improvement:.1f}x "
+                 f"by {summary.protocol}")
+    lines.append(
+        f"  throughput: {report.result.nodes_per_second:.1f} nodes/s "
+        f"({report.result.elapsed_s:.2f} s)")
     return "\n".join(lines)
 
 

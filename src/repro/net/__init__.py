@@ -1,0 +1,100 @@
+"""Multi-node WBSN network simulation above the single-node stack.
+
+The paper reproduces *one* sensor node (``repro.isa`` → ``repro.hw`` →
+``repro.sysc``); this package simulates *fleets* of such nodes with
+drifting local clocks, a beacon radio, pluggable inter-node time-sync
+protocols and a sharded multiprocessing runner:
+
+* :mod:`repro.net.clock` — per-node oscillators (drift / jitter /
+  power-loss resets).
+* :mod:`repro.net.radio` — beacon delivery and per-message energy.
+* :mod:`repro.net.timesync` — NoSync / reference-broadcast /
+  FTSP-style offset+skew protocols.
+* :mod:`repro.net.node` — clock + radio + a mapped ECG application.
+* :mod:`repro.net.fleet` — deterministic serial/parallel execution.
+* :mod:`repro.net.scenarios` — named deployment presets.
+* :mod:`repro.net.stats` — summary dataclasses shared with
+  :mod:`repro.eval.report`.
+"""
+
+from .clock import ClockSpec, LocalClock
+from .fleet import (
+    DEFAULT_DURATION_S,
+    DEFAULT_SEED,
+    FleetConfig,
+    FleetResult,
+    FleetRunner,
+    run_fleet,
+)
+from .node import (
+    APPS,
+    ERROR_SAMPLE_HZ,
+    REFERENCE_NODE_ID,
+    NetworkNode,
+    NodeResult,
+    build_node,
+)
+from .radio import (
+    Beacon,
+    RadioEnergy,
+    RadioSpec,
+    Reception,
+    beacon_schedule,
+    receive_beacons,
+)
+from .scenarios import (
+    DENSE_WARD,
+    DRIFTING_WEARABLES,
+    INTERMITTENT_HARVESTING,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    with_protocol,
+)
+from .stats import FleetSummary, SyncError
+from .timesync import (
+    PROTOCOLS,
+    FtspSync,
+    NoSync,
+    ReferenceBroadcastSync,
+    SyncProtocol,
+    make_protocol,
+)
+
+__all__ = [
+    "APPS",
+    "Beacon",
+    "ClockSpec",
+    "DEFAULT_DURATION_S",
+    "DEFAULT_SEED",
+    "DENSE_WARD",
+    "DRIFTING_WEARABLES",
+    "ERROR_SAMPLE_HZ",
+    "FleetConfig",
+    "FleetResult",
+    "FleetRunner",
+    "FleetSummary",
+    "FtspSync",
+    "INTERMITTENT_HARVESTING",
+    "LocalClock",
+    "NetworkNode",
+    "NoSync",
+    "NodeResult",
+    "PROTOCOLS",
+    "REFERENCE_NODE_ID",
+    "RadioEnergy",
+    "RadioSpec",
+    "Reception",
+    "ReferenceBroadcastSync",
+    "SCENARIOS",
+    "Scenario",
+    "SyncError",
+    "SyncProtocol",
+    "beacon_schedule",
+    "build_node",
+    "get_scenario",
+    "make_protocol",
+    "receive_beacons",
+    "run_fleet",
+    "with_protocol",
+]

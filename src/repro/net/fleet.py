@@ -1,0 +1,240 @@
+"""Sharded, multiprocessing-backed execution of node fleets.
+
+The fleet problem is embarrassingly parallel *by construction*: the
+reference node's beacon schedule is precomputed once from the fleet
+seed, after which every node is a pure function of
+``(scenario, seed, node id, schedule)`` — no inter-process
+communication during the run.  :class:`FleetRunner` shards the node-id
+range into batches, executes them either inline or on a
+:mod:`multiprocessing` pool, then merges per-node results in node-id
+order.  Because the merge order is fixed and every random draw comes
+from named per-node streams, serial and parallel execution produce
+**bit-identical** :class:`~repro.net.stats.FleetSummary` values — the
+property the determinism tests pin down.
+
+Wall-clock timing (elapsed seconds, nodes/second) is reported on
+:class:`FleetResult`, *outside* the deterministic summary.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass
+
+from .node import (
+    ERROR_SAMPLE_HZ,
+    REFERENCE_NODE_ID,
+    NodeResult,
+    build_node,
+)
+from .radio import Beacon, beacon_schedule
+from .scenarios import Scenario, get_scenario, with_protocol
+from .stats import FleetSummary, SyncError
+
+#: Default fleet seed (the paper's year).
+DEFAULT_SEED = 2014
+
+#: Default simulated seconds per node (shorter than the single-node
+#: experiments' 60 s: fleet cost is per-node work × fleet size).
+DEFAULT_DURATION_S = 10.0
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet run: a scenario instantiated at a size and seed.
+
+    Attributes:
+        scenario: deployment description (see
+            :mod:`repro.net.scenarios`).
+        n_nodes: fleet size, including the reference node (0 is
+            allowed and yields an empty summary).
+        duration_s: simulated seconds of ECG per node.
+        seed: fleet seed; all per-node streams derive from it.
+    """
+
+    scenario: Scenario
+    n_nodes: int
+    duration_s: float = DEFAULT_DURATION_S
+    seed: int = DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one :meth:`FleetRunner.run` call.
+
+    Attributes:
+        summary: deterministic aggregate (identical across serial and
+            parallel execution for the same config).
+        nodes: per-node results, ordered by node id.
+        elapsed_s: wall-clock seconds the node simulations took.
+        nodes_per_second: throughput over ``elapsed_s``.
+        workers: worker processes used (1 = serial).
+        shards: number of node batches executed.
+        mode: ``"serial"`` or ``"parallel"``.
+    """
+
+    summary: FleetSummary
+    nodes: tuple[NodeResult, ...]
+    elapsed_s: float
+    nodes_per_second: float
+    workers: int
+    shards: int
+    mode: str
+
+
+def _simulate_shard(payload: tuple) -> list[NodeResult]:
+    """Simulate one batch of node ids (top-level: must pickle)."""
+    config, node_ids, beacons, sample_times, ref_readings = payload
+    results = []
+    for node_id in node_ids:
+        node = build_node(config.scenario, node_id, config.seed,
+                          config.duration_s)
+        results.append(node.simulate(beacons, sample_times, ref_readings))
+    return results
+
+
+def _shard(node_ids: list[int], shard_size: int) -> list[list[int]]:
+    """Split ids into contiguous batches of at most ``shard_size``."""
+    return [node_ids[start:start + shard_size]
+            for start in range(0, len(node_ids), shard_size)]
+
+
+class FleetRunner:
+    """Executes a :class:`FleetConfig` serially or on a process pool."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        if config.n_nodes < 0:
+            raise ValueError("fleet size cannot be negative")
+        if config.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.config = config
+
+    def _schedule(self) -> tuple[list[Beacon], list[float], list[float]]:
+        """Precompute beacons, error-sample times and ref readings."""
+        config = self.config
+        if config.n_nodes == 0:
+            return [], [], []
+        reference = build_node(config.scenario, REFERENCE_NODE_ID,
+                               config.seed, config.duration_s)
+        beacons = beacon_schedule(config.scenario.beacon_period_s,
+                                  config.duration_s, reference.clock)
+        samples = int(config.duration_s * ERROR_SAMPLE_HZ)
+        sample_times = [(i + 1) / ERROR_SAMPLE_HZ for i in range(samples)]
+        ref_readings = [reference.clock.read(t) for t in sample_times]
+        return beacons, sample_times, ref_readings
+
+    def run(self, workers: int = 1,
+            shard_size: int | None = None) -> FleetResult:
+        """Simulate the whole fleet.
+
+        Args:
+            workers: worker processes; 1 executes inline.  More
+                workers than shards is allowed (the extras idle).
+            shard_size: nodes per batch; defaults to an even split
+                across workers.  The node count need not divide
+                evenly — the last shard is simply shorter.
+        """
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        config = self.config
+        node_ids = list(range(config.n_nodes))
+        if shard_size is None:
+            shard_size = max(1, math.ceil(len(node_ids) / workers)) \
+                if node_ids else 1
+        if shard_size < 1:
+            raise ValueError("shard size must be positive")
+        shards = _shard(node_ids, shard_size)
+        beacons, sample_times, ref_readings = self._schedule()
+        payloads = [(config, ids, beacons, sample_times, ref_readings)
+                    for ids in shards]
+
+        parallel = workers > 1 and len(shards) > 1
+        workers_used = min(workers, len(shards)) if parallel else 1
+        start = time.perf_counter()
+        if parallel:
+            # fork is the cheap path but is only reliably safe on
+            # Linux (macOS lists it as available, yet forking with
+            # numpy/Accelerate loaded can crash); elsewhere use the
+            # platform default (spawn) — payloads are all picklable.
+            use_fork = (sys.platform.startswith("linux") and "fork"
+                        in multiprocessing.get_all_start_methods())
+            ctx = multiprocessing.get_context("fork" if use_fork
+                                              else None)
+            with ctx.Pool(processes=workers_used) as pool:
+                batches = pool.map(_simulate_shard, payloads)
+        else:
+            batches = [_simulate_shard(payload) for payload in payloads]
+        elapsed = time.perf_counter() - start
+
+        results = sorted((node for batch in batches for node in batch),
+                         key=lambda node: node.node_id)
+        return FleetResult(
+            summary=self._aggregate(results, beacons),
+            nodes=tuple(results),
+            elapsed_s=elapsed,
+            nodes_per_second=(len(results) / elapsed
+                              if elapsed > 0 else 0.0),
+            workers=workers_used,
+            shards=len(shards),
+            mode="parallel" if parallel else "serial",
+        )
+
+    def _aggregate(self, results: list[NodeResult],
+                   beacons: list[Beacon]) -> FleetSummary:
+        """Merge per-node results (already sorted by node id)."""
+        config = self.config
+        n = len(results)
+        total_power = sum(node.power.total_uw for node in results)
+        total_radio = sum(node.radio_uw for node in results)
+        followers = [node for node in results
+                     if node.node_id != REFERENCE_NODE_ID]
+        return FleetSummary(
+            scenario=config.scenario.name,
+            protocol=config.scenario.protocol,
+            n_nodes=n,
+            duration_s=config.duration_s,
+            total_power_uw=total_power,
+            mean_power_uw=total_power / n if n else 0.0,
+            mean_radio_uw=total_radio / n if n else 0.0,
+            sync=SyncError.merged([node.sync for node in followers]),
+            steady_sync=SyncError.merged(
+                [node.steady_sync for node in followers]),
+            unsync=SyncError.merged([node.unsync for node in followers]),
+            steady_unsync=SyncError.merged(
+                [node.steady_unsync for node in followers]),
+            beacons_sent=len(beacons) if n else 0,
+            beacons_heard=sum(node.beacons_heard for node in results),
+            power_loss_resets=sum(node.resets for node in results),
+        )
+
+
+def run_fleet(scenario: str | Scenario, n_nodes: int | None = None,
+              duration_s: float = DEFAULT_DURATION_S,
+              seed: int = DEFAULT_SEED,
+              protocol: str | None = None, workers: int = 1,
+              shard_size: int | None = None) -> FleetResult:
+    """Convenience wrapper: resolve a scenario and run it once.
+
+    Args:
+        scenario: preset name or an explicit :class:`Scenario`.
+        n_nodes: fleet size; defaults to the scenario's preset size.
+        duration_s: simulated seconds per node.
+        seed: fleet seed.
+        protocol: override the scenario's sync protocol (e.g.
+            ``"none"`` for the unsynchronized baseline).
+        workers: worker processes (1 = serial).
+        shard_size: explicit batch size (defaults to an even split).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    scenario = with_protocol(scenario, protocol)
+    config = FleetConfig(
+        scenario=scenario,
+        n_nodes=scenario.default_nodes if n_nodes is None else n_nodes,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return FleetRunner(config).run(workers=workers, shard_size=shard_size)

@@ -1,0 +1,248 @@
+"""One WBSN network node: clock + radio + a mapped ECG application.
+
+A :class:`NetworkNode` wraps one :func:`repro.sysc.engine.simulate`
+run — the paper's multi-core sensor node with its intra-node
+synchronizer — and surrounds it with the network-level concerns the
+paper stops short of: a drifting :class:`repro.net.clock.LocalClock`,
+a beacon :mod:`radio <repro.net.radio>` whose message energy is folded
+into the node's :class:`~repro.power.energy.PowerReport`, and a
+pluggable :mod:`time-sync <repro.net.timesync>` protocol estimating
+the reference node's clock.
+
+Nodes are pure functions of ``(scenario, fleet seed, node id)``: every
+random draw comes from named per-node streams, so a node simulated in
+a worker process is bit-identical to the same node simulated inline
+(the contract :mod:`repro.net.fleet` builds on).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..apps import rp_class, three_lead_mf, three_lead_mmd
+from ..apps.phases import AppSpec
+from ..power.energy import PowerReport
+from ..sysc.engine import Mode, simulate, uniform_schedule
+from .clock import ClockSpec, LocalClock
+from .radio import Beacon, RadioEnergy, receive_beacons
+from .scenarios import Scenario
+from .stats import SyncError
+from .timesync import make_protocol
+
+#: Node id of the sync reference (the continuously powered hub).
+REFERENCE_NODE_ID = 0
+
+#: Error-sampling rate of the residual sync error (Hz of global time).
+ERROR_SAMPLE_HZ = 5.0
+
+#: Application registry: scenario app-mix names -> AppSpec builders.
+APPS = {
+    "3L-MF": lambda ratio: three_lead_mf(),
+    "3L-MMD": lambda ratio: three_lead_mmd(),
+    "RP-CLASS": rp_class,
+}
+
+
+@dataclass(frozen=True)
+class NodeResult:
+    """Everything one node's simulation produces.
+
+    Attributes:
+        node_id: fleet-wide id (0 is the reference).
+        app_name: benchmark the node ran.
+        protocol: sync protocol name ("reference" for node 0).
+        drift_ppm: the node's sampled oscillator drift.
+        bpm: the node's sampled heart rate.
+        resets: power-loss reboots suffered during the run.
+        beacons_heard: sync beacons actually received.
+        radio_uw: average radio power, µW.
+        power: node power decomposition (includes a ``radio``
+            category on top of the paper's components).
+        sync: residual sync error over the whole run (empty for the
+            reference node, which *defines* reference time).
+        steady_sync: residual sync error over the second half.
+        unsync: the free-running counterfactual — the error the same
+            node shows when it ignores every beacon.  Computed in the
+            same replay (the baseline is just the raw local clock),
+            so one fleet run yields both sides of the comparison.
+        steady_unsync: free-running error over the second half.
+    """
+
+    node_id: int
+    app_name: str
+    protocol: str
+    drift_ppm: float
+    bpm: float
+    resets: int
+    beacons_heard: int
+    radio_uw: float
+    power: PowerReport
+    sync: SyncError
+    steady_sync: SyncError
+    unsync: SyncError
+    steady_unsync: SyncError
+
+
+def _stream(fleet_seed: int, node_id: int, stream: str) -> random.Random:
+    """A named, order-independent per-node random stream.
+
+    String seeding hashes through SHA-512 inside :class:`random.Random`,
+    so streams are stable across processes and Python invocations
+    (never ``hash()``, which is salted per process).
+    """
+    return random.Random(f"{fleet_seed}:{node_id}:{stream}")
+
+
+class NetworkNode:
+    """One node of the fleet, ready to simulate.
+
+    Build with :func:`build_node` so every parameter is drawn from the
+    node's own seeded streams.
+    """
+
+    def __init__(self, node_id: int, scenario: Scenario, app_name: str,
+                 app: AppSpec, bpm: float, clock: LocalClock,
+                 rng_radio: random.Random, duration_s: float) -> None:
+        self.node_id = node_id
+        self.scenario = scenario
+        self.app_name = app_name
+        self.app = app
+        self.bpm = bpm
+        self.clock = clock
+        self.duration_s = duration_s
+        self._rng_radio = rng_radio
+        self.is_reference = node_id == REFERENCE_NODE_ID
+
+    def simulate(self, beacons: list[Beacon], sample_times: list[float],
+                 ref_readings: list[float]) -> NodeResult:
+        """Run the node over one window.
+
+        Args:
+            beacons: the reference node's broadcast schedule.
+            sample_times: global times at which the residual sync
+                error is sampled.
+            ref_readings: the reference clock's exact reading at each
+                sample time (``len(sample_times)`` values).
+        """
+        schedule = uniform_schedule(
+            self.duration_s, self.app.fs, bpm=self.bpm,
+            abnormal_ratio=self.scenario.abnormal_ratio)
+        result = simulate(self.app, Mode.MULTI_CORE, schedule,
+                          duration_s=self.duration_s)
+
+        energy = RadioEnergy()
+        errors: list[float] = []
+        steady: list[float] = []
+        base_errors: list[float] = []
+        base_steady: list[float] = []
+        if self.is_reference:
+            energy.tx_messages = len(beacons)
+            heard = 0
+        else:
+            receptions = receive_beacons(
+                beacons, self.clock, self.scenario.radio, self._rng_radio)
+            energy.rx_messages = heard = len(receptions)
+            errors, steady, base_errors, base_steady = self._sync_errors(
+                receptions, sample_times, ref_readings)
+
+        radio_uw = energy.average_uw(self.scenario.radio, self.duration_s)
+        power = result.power
+        power.categories["radio"] = radio_uw
+        return NodeResult(
+            node_id=self.node_id,
+            app_name=self.app_name,
+            protocol=("reference" if self.is_reference
+                      else self.scenario.protocol),
+            drift_ppm=self.clock.spec.drift_ppm,
+            bpm=self.bpm,
+            resets=self.clock.resets_before(self.duration_s),
+            beacons_heard=heard,
+            radio_uw=radio_uw,
+            power=power,
+            sync=SyncError.from_samples(errors),
+            steady_sync=SyncError.from_samples(steady),
+            unsync=SyncError.from_samples(base_errors),
+            steady_unsync=SyncError.from_samples(base_steady),
+        )
+
+    def _sync_errors(self, receptions, sample_times: list[float],
+                     ref_readings: list[float]
+                     ) -> tuple[list[float], list[float],
+                                list[float], list[float]]:
+        """Replay receptions and error samples in global-time order.
+
+        Returns the active protocol's error samples and, from the same
+        replay, the free-running baseline (raw local clock vs.
+        reference) — the counterfactual every report compares against.
+        """
+        protocol = make_protocol(self.scenario.protocol)
+        events = [(r.rx_global, 0, r) for r in receptions]
+        events += [(t, 1, i) for i, t in enumerate(sample_times)]
+        events.sort(key=lambda event: (event[0], event[1]))
+        errors: list[float] = []
+        steady: list[float] = []
+        base_errors: list[float] = []
+        base_steady: list[float] = []
+        steady_from = self.duration_s / 2.0
+        seen_resets = 0
+        for when, kind, payload in events:
+            resets = self.clock.resets_before(when)
+            if resets != seen_resets:
+                protocol.on_reboot()
+                seen_resets = resets
+            if kind == 0:
+                protocol.on_beacon(payload.beacon.ref_timestamp,
+                                   payload.rx_local)
+            else:
+                local = self.clock.read(when)
+                error = protocol.estimate_reference(local) \
+                    - ref_readings[payload]
+                baseline = local - ref_readings[payload]
+                errors.append(error)
+                base_errors.append(baseline)
+                if when >= steady_from:
+                    steady.append(error)
+                    base_steady.append(baseline)
+        return errors, steady, base_errors, base_steady
+
+
+def build_node(scenario: Scenario, node_id: int, fleet_seed: int,
+               duration_s: float) -> NetworkNode:
+    """Construct one node from its seeded streams.
+
+    The reference node (id 0) is the hub: it is continuously powered
+    (no power-loss resets) but its oscillator drifts like any other —
+    the fleet synchronizes to it, not to true time.
+    """
+    rng_app = _stream(fleet_seed, node_id, "app")
+    names = [name for name, _ in scenario.app_mix]
+    weights = [weight for _, weight in scenario.app_mix]
+    app_name = rng_app.choices(names, weights=weights)[0]
+    app = APPS[app_name](scenario.abnormal_ratio)
+    bpm = rng_app.uniform(*scenario.bpm_range)
+
+    magnitude = rng_app.uniform(*scenario.drift_ppm_range)
+    sign = 1.0 if rng_app.random() < 0.5 else -1.0
+    offset = rng_app.uniform(-scenario.initial_offset_s,
+                             scenario.initial_offset_s)
+    loss_rate = (0.0 if node_id == REFERENCE_NODE_ID
+                 else scenario.power_loss_rate_hz)
+    spec = ClockSpec(
+        drift_ppm=sign * magnitude,
+        jitter_s=scenario.jitter_s,
+        initial_offset_s=offset,
+        power_loss_rate_hz=loss_rate,
+    )
+    clock = LocalClock(spec, _stream(fleet_seed, node_id, "clock"),
+                       horizon_s=duration_s)
+    return NetworkNode(
+        node_id=node_id,
+        scenario=scenario,
+        app_name=app_name,
+        app=app,
+        bpm=bpm,
+        clock=clock,
+        rng_radio=_stream(fleet_seed, node_id, "radio"),
+        duration_s=duration_s,
+    )

@@ -1,0 +1,144 @@
+"""Named fleet scenario presets.
+
+A :class:`Scenario` bundles everything that differs between
+deployments: how many nodes, which ECG applications they run, how bad
+their oscillators are, how lossy the radio is, how often beacons go
+out and which sync protocol is in charge.  Presets:
+
+* ``dense-ward`` — a hospital ward full of mains-adjacent monitors:
+  many nodes, mild drift, clean radio, offset-only sync is plenty.
+* ``drifting-wearables`` — battery wearables with cheap, temperature-
+  stressed crystals: large drift spread and sparse beacons, the
+  setting where FTSP-style skew compensation earns its keep.
+* ``intermittent-harvesting`` — energy-harvesting patches that brown
+  out and reboot mid-run, losing their local epoch entirely.
+
+Scenarios are frozen dataclasses, so presets can be specialised with
+``dataclasses.replace`` (node count, protocol, …) without mutating
+the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .radio import RadioSpec
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Static description of one fleet deployment.
+
+    Attributes:
+        name: registry key.
+        description: one-line human summary.
+        default_nodes: fleet size when the caller does not choose one.
+        app_mix: ``(benchmark name, weight)`` pairs nodes draw their
+            ECG application from (see :data:`repro.net.node.APPS`).
+        bpm_range: per-node heart rate drawn uniformly from this range.
+        abnormal_ratio: pathological-beat ratio of the input schedule
+            (drives RP-CLASS's on-demand chain).
+        drift_ppm_range: magnitude range of per-node oscillator drift;
+            the sign is drawn separately, so a fleet spreads both ways.
+        jitter_s: clock timestamping noise (stdev, seconds).
+        initial_offset_s: per-node boot offset drawn uniformly from
+            ``[-x, +x]``.
+        power_loss_rate_hz: Poisson rate of power-loss resets per node
+            (0 = continuously powered).
+        beacon_period_s: reference broadcast period.
+        protocol: default sync protocol name.
+        radio: link/energy model of the node radios.
+    """
+
+    name: str
+    description: str
+    default_nodes: int
+    app_mix: tuple[tuple[str, float], ...]
+    bpm_range: tuple[float, float]
+    abnormal_ratio: float
+    drift_ppm_range: tuple[float, float]
+    jitter_s: float
+    initial_offset_s: float
+    power_loss_rate_hz: float
+    beacon_period_s: float
+    protocol: str
+    radio: RadioSpec = RadioSpec()
+
+
+DENSE_WARD = Scenario(
+    name="dense-ward",
+    description="hospital ward: many stable monitors, clean radio",
+    default_nodes=64,
+    app_mix=(("3L-MF", 2.0), ("3L-MMD", 1.0)),
+    bpm_range=(58.0, 96.0),
+    abnormal_ratio=0.0,
+    drift_ppm_range=(5.0, 25.0),
+    jitter_s=5e-6,
+    initial_offset_s=0.05,
+    power_loss_rate_hz=0.0,
+    beacon_period_s=2.0,
+    protocol="rbs",
+    radio=RadioSpec(loss_prob=0.01, delay_jitter_s=10e-6),
+)
+
+DRIFTING_WEARABLES = Scenario(
+    name="drifting-wearables",
+    description="battery wearables: cheap crystals, sparse beacons",
+    default_nodes=24,
+    app_mix=(("3L-MF", 2.0), ("RP-CLASS", 1.0)),
+    bpm_range=(55.0, 110.0),
+    abnormal_ratio=0.20,
+    drift_ppm_range=(30.0, 120.0),
+    jitter_s=10e-6,
+    initial_offset_s=0.25,
+    power_loss_rate_hz=0.0,
+    beacon_period_s=5.0,
+    protocol="ftsp",
+    radio=RadioSpec(loss_prob=0.05, delay_jitter_s=25e-6),
+)
+
+INTERMITTENT_HARVESTING = Scenario(
+    name="intermittent-harvesting",
+    description="harvesting patches: brown-outs reset local clocks",
+    default_nodes=16,
+    app_mix=(("3L-MF", 1.0),),
+    bpm_range=(60.0, 100.0),
+    abnormal_ratio=0.0,
+    drift_ppm_range=(20.0, 80.0),
+    jitter_s=10e-6,
+    initial_offset_s=0.10,
+    power_loss_rate_hz=0.05,
+    beacon_period_s=2.0,
+    protocol="ftsp",
+    radio=RadioSpec(loss_prob=0.08, delay_jitter_s=25e-6),
+)
+
+#: Scenario registry, keyed by name.
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (DENSE_WARD, DRIFTING_WEARABLES,
+                     INTERMITTENT_HARVESTING)
+}
+
+
+def with_protocol(scenario: Scenario,
+                  protocol: str | None) -> Scenario:
+    """The scenario with its sync protocol overridden (None = keep)."""
+    if protocol is None or protocol == scenario.protocol:
+        return scenario
+    return replace(scenario, protocol=protocol)
+
+
+def get_scenario(name: str, protocol: str | None = None) -> Scenario:
+    """Look up a preset, optionally overriding its sync protocol.
+
+    Raises:
+        ValueError: unknown scenario name.
+    """
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; "
+            f"choose from {sorted(SCENARIOS)}") from None
+    return with_protocol(scenario, protocol)

@@ -1,0 +1,108 @@
+"""Summary dataclasses shared by the fleet runner and `repro.eval`.
+
+These are defined here (dependency-free) and re-exported from
+:mod:`repro.eval.report`, so the network report and the Table-I-style
+reports format results through one path without `repro.net` ever
+importing the evaluation layer.
+
+:class:`SyncError` supports *exact* merging: per-node statistics carry
+their sample counts, and :meth:`SyncError.merged` recombines them with
+count-weighted sums in caller order.  The fleet runner always merges
+in node-id order, which is what makes serial and sharded-parallel
+execution bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SyncError:
+    """Residual inter-node clock error over a set of samples.
+
+    Attributes:
+        count: number of (node, instant) error samples aggregated.
+        mean_abs_s: mean absolute error, seconds.
+        rms_s: root-mean-square error, seconds.
+        max_abs_s: worst absolute error, seconds.
+    """
+
+    count: int = 0
+    mean_abs_s: float = 0.0
+    rms_s: float = 0.0
+    max_abs_s: float = 0.0
+
+    @classmethod
+    def from_samples(cls, errors_s: list[float]) -> "SyncError":
+        """Summarise raw signed error samples (seconds)."""
+        if not errors_s:
+            return cls()
+        n = len(errors_s)
+        return cls(
+            count=n,
+            mean_abs_s=sum(abs(e) for e in errors_s) / n,
+            rms_s=math.sqrt(sum(e * e for e in errors_s) / n),
+            max_abs_s=max(abs(e) for e in errors_s),
+        )
+
+    @classmethod
+    def merged(cls, parts: list["SyncError"]) -> "SyncError":
+        """Exactly recombine per-node summaries (count-weighted)."""
+        total = sum(part.count for part in parts)
+        if total == 0:
+            return cls()
+        mean = sum(part.count * part.mean_abs_s for part in parts) / total
+        mean_sq = sum(part.count * part.rms_s ** 2 for part in parts) / total
+        return cls(
+            count=total,
+            mean_abs_s=mean,
+            rms_s=math.sqrt(mean_sq),
+            max_abs_s=max(part.max_abs_s for part in parts),
+        )
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Deterministic aggregate of one fleet run.
+
+    Everything here is a pure function of (scenario, seed, node
+    count, duration): wall-clock timing lives on
+    :class:`repro.net.fleet.FleetResult` instead, so summaries can be
+    compared bit-for-bit across serial and parallel execution.
+
+    Attributes:
+        scenario: scenario name.
+        protocol: sync protocol name the fleet ran.
+        n_nodes: fleet size (including the reference node).
+        duration_s: simulated seconds.
+        total_power_uw: summed average node power (incl. radio), µW.
+        mean_power_uw: mean average node power, µW.
+        mean_radio_uw: mean radio power per node, µW.
+        sync: residual sync error over the whole run (non-reference
+            nodes only).
+        steady_sync: residual sync error over the second half of the
+            run — the steady-state figure scenarios are judged on.
+        unsync: free-running counterfactual error (same fleet, every
+            beacon ignored), computed in the same pass.
+        steady_unsync: free-running error over the second half.
+        beacons_sent: beacons broadcast by the reference node.
+        beacons_heard: total receptions across the fleet.
+        power_loss_resets: total power-loss reboots across the fleet.
+    """
+
+    scenario: str
+    protocol: str
+    n_nodes: int
+    duration_s: float
+    total_power_uw: float = 0.0
+    mean_power_uw: float = 0.0
+    mean_radio_uw: float = 0.0
+    sync: SyncError = field(default_factory=SyncError)
+    steady_sync: SyncError = field(default_factory=SyncError)
+    unsync: SyncError = field(default_factory=SyncError)
+    steady_unsync: SyncError = field(default_factory=SyncError)
+    beacons_sent: int = 0
+    beacons_heard: int = 0
+    power_loss_resets: int = 0

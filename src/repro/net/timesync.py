@@ -1,0 +1,157 @@
+"""Pluggable inter-node time-synchronization protocols.
+
+Each protocol consumes (reference timestamp, local receive timestamp)
+pairs from heard beacons and exposes one query: *given my local clock
+reading, what is the reference node's clock right now?*  The residual
+|estimate − true reference time| is the network-level analogue of the
+paper's intra-node lock-step error, and what
+:class:`repro.net.stats.SyncError` aggregates.
+
+Two real protocol families are modelled, plus a baseline:
+
+* :class:`NoSync` — free-running local clock (the "unsynchronized
+  drift" baseline every scenario is judged against).
+* :class:`ReferenceBroadcastSync` — periodic reference broadcast:
+  jump to the last beacon's offset and coast on the raw local clock
+  until the next one.  Error grows linearly with relative drift over
+  a beacon period.
+* :class:`FtspSync` — FTSP-style offset *and skew* estimation: a
+  least-squares line through a sliding window of beacon pairs
+  compensates constant drift, leaving timestamp noise and drift
+  wander as the error floor (Maróti et al.'s flooding is collapsed to
+  one hop — the fleet topology is a star).
+
+Protocols are deliberately stateful-but-tiny objects so a fleet of
+thousands costs nothing, and all of them handle power-loss reboots
+(:meth:`SyncProtocol.on_reboot`) by discarding state learned under
+the previous power cycle, whose local epoch no longer exists.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+
+
+class SyncProtocol(ABC):
+    """Interface shared by all inter-node sync protocols."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    @abstractmethod
+    def on_beacon(self, ref_timestamp: float, rx_local: float) -> None:
+        """Ingest one heard beacon.
+
+        Args:
+            ref_timestamp: the sender's local clock value in the packet.
+            rx_local: this node's (noisy) timestamp of the reception.
+        """
+
+    @abstractmethod
+    def estimate_reference(self, local: float) -> float:
+        """Map a local clock reading to estimated reference time."""
+
+    def on_reboot(self) -> None:
+        """Forget state after a power-loss reset (new local epoch)."""
+
+
+class NoSync(SyncProtocol):
+    """Baseline: trust the local clock, ignore beacons."""
+
+    name = "none"
+
+    def on_beacon(self, ref_timestamp: float, rx_local: float) -> None:
+        pass
+
+    def estimate_reference(self, local: float) -> float:
+        return local
+
+
+class ReferenceBroadcastSync(SyncProtocol):
+    """Offset-only sync against the last heard reference beacon."""
+
+    name = "rbs"
+
+    def __init__(self) -> None:
+        self._last: tuple[float, float] | None = None  # (rx_local, ref)
+
+    def on_beacon(self, ref_timestamp: float, rx_local: float) -> None:
+        self._last = (rx_local, ref_timestamp)
+
+    def estimate_reference(self, local: float) -> float:
+        if self._last is None:
+            return local
+        rx_local, ref = self._last
+        return ref + (local - rx_local)
+
+    def on_reboot(self) -> None:
+        self._last = None
+
+
+class FtspSync(SyncProtocol):
+    """Drift-compensated sync: offset + skew by linear regression.
+
+    Args:
+        window: number of most recent beacon pairs regressed over.
+            Larger windows average more timestamp noise but react more
+            slowly to drift changes; FTSP's reference implementation
+            uses 8.
+    """
+
+    name = "ftsp"
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 2:
+            raise ValueError("regression window must hold >= 2 pairs")
+        self._pairs: deque[tuple[float, float]] = deque(maxlen=window)
+
+    def on_beacon(self, ref_timestamp: float, rx_local: float) -> None:
+        self._pairs.append((rx_local, ref_timestamp))
+
+    def estimate_reference(self, local: float) -> float:
+        n = len(self._pairs)
+        if n == 0:
+            return local
+        if n == 1:
+            rx_local, ref = self._pairs[0]
+            return ref + (local - rx_local)
+        # Centered least squares: y = a + b * x with x = local RX
+        # times, y = reference timestamps.  Centering keeps the sums
+        # well-conditioned even though x sits at tens-of-seconds
+        # magnitude with micro-second structure.
+        x_mean = sum(x for x, _ in self._pairs) / n
+        y_mean = sum(y for _, y in self._pairs) / n
+        sxx = sum((x - x_mean) ** 2 for x, _ in self._pairs)
+        if sxx == 0.0:
+            rx_local, ref = self._pairs[-1]
+            return ref + (local - rx_local)
+        sxy = sum((x - x_mean) * (y - y_mean) for x, y in self._pairs)
+        slope = sxy / sxx
+        return y_mean + slope * (local - x_mean)
+
+    def on_reboot(self) -> None:
+        self._pairs.clear()
+
+
+#: Protocol registry used by scenarios and the CLI.
+PROTOCOLS: dict[str, type[SyncProtocol]] = {
+    NoSync.name: NoSync,
+    ReferenceBroadcastSync.name: ReferenceBroadcastSync,
+    FtspSync.name: FtspSync,
+}
+
+
+def make_protocol(name: str) -> SyncProtocol:
+    """Instantiate a protocol by registry name.
+
+    Raises:
+        ValueError: unknown protocol name.
+    """
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sync protocol {name!r}; "
+            f"choose from {sorted(PROTOCOLS)}") from None
+    return cls()

@@ -113,7 +113,9 @@ class PowerReport:
         lines = [f"P_avg = {self.total_uw:7.2f} uW @ "
                  f"{self.operating_point.frequency_mhz:.2f} MHz / "
                  f"{self.operating_point.voltage:.2f} V"]
-        for name in CATEGORIES:
+        extras = [name for name in self.categories
+                  if name not in CATEGORIES]
+        for name in (*CATEGORIES, *extras):
             lines.append(f"  {name:<13} {self.categories.get(name, 0.0):7.2f}")
         return "\n".join(lines)
 

@@ -19,6 +19,28 @@ def test_cli_fig7(capsys):
     assert "100 %" in out
 
 
+def test_cli_net(capsys):
+    assert main(["net", "--scenario", "drifting-wearables",
+                 "--nodes", "8", "--duration", "6", "--workers", "2",
+                 "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Network: drifting-wearables" in out
+    assert "no sync" in out and "ftsp" in out
+    assert "steady-state error reduced" in out
+    assert "nodes/s" in out
+
+
+def test_cli_net_protocol_override(capsys):
+    assert main(["net", "--scenario", "dense-ward", "--nodes", "4",
+                 "--duration", "4", "--protocol", "ftsp"]) == 0
+    assert "ftsp" in capsys.readouterr().out
+
+
 def test_cli_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["nonsense"])
+
+
+def test_cli_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["net", "--scenario", "mars-rover"])

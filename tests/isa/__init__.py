@@ -1,0 +1,1 @@
+"""Test package (unique import roots for same-basename test modules)."""
