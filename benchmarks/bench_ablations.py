@@ -3,6 +3,7 @@
 Run with::
 
     pytest benchmarks/bench_ablations.py --benchmark-only
+    python benchmarks/bench_ablations.py  # emit BENCH_ablations.json
 """
 
 from conftest import BENCH_DURATION_S
@@ -48,3 +49,14 @@ def test_all_ablations(benchmark):
     assert "ABL-4" in report
     print()
     print(report)
+
+
+def main(argv=None) -> int:
+    """Plain-script mode: replay the campaign, emit BENCH_ablations.json."""
+    from repro.sweep import bench_main
+
+    return bench_main("ablations", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,7 @@
 Run with::
 
     pytest benchmarks/bench_fig6.py --benchmark-only
+    python benchmarks/bench_fig6.py       # emit BENCH_fig6.json
 """
 
 import pytest
@@ -37,3 +38,14 @@ def test_fig6_full(benchmark):
     assert "instr_mem" in report
     print()
     print(report)
+
+
+def main(argv=None) -> int:
+    """Plain-script mode: replay the campaign, emit BENCH_fig6.json."""
+    from repro.sweep import bench_main
+
+    return bench_main("fig6", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

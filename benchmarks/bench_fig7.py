@@ -3,6 +3,7 @@
 Run with::
 
     pytest benchmarks/bench_fig7.py --benchmark-only
+    python benchmarks/bench_fig7.py       # emit BENCH_fig7.json
 """
 
 import pytest
@@ -39,3 +40,14 @@ def test_fig7_full_sweep(benchmark):
     assert reductions[-1] > reductions[0]
     print()
     print(render_fig7(points))
+
+
+def main(argv=None) -> int:
+    """Plain-script mode: replay the campaign, emit BENCH_fig7.json."""
+    from repro.sweep import bench_main
+
+    return bench_main("fig7", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

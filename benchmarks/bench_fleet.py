@@ -9,7 +9,7 @@ numbers either way (CI containers are often single-core).
 Run with::
 
     pytest benchmarks/bench_fleet.py --benchmark-only
-    python benchmarks/bench_fleet.py          # plain speedup table
+    python benchmarks/bench_fleet.py      # emit BENCH_fleet.json
 """
 
 import os
@@ -53,24 +53,11 @@ def test_fleet_parallel_throughput(benchmark, workers):
     print(f"\n{workers} workers: {result.nodes_per_second:.1f} nodes/s")
 
 
-def main() -> int:
-    """Plain-script mode: print a serial-vs-parallel speedup table."""
-    cpus = os.cpu_count() or 1
-    print(f"fleet throughput: {BENCH_NODES} nodes x "
-          f"{FLEET_DURATION_S:g} s ECG (drifting-wearables), "
-          f"{cpus} CPU(s) available")
-    serial = _run(1)
-    print(f"  workers  1  {serial.nodes_per_second:8.1f} nodes/s  "
-          f"(serial, {serial.elapsed_s:.2f} s)")
-    for workers in (2, 4, 8):
-        result = _run(workers)
-        speedup = (serial.elapsed_s / result.elapsed_s
-                   if result.elapsed_s > 0 else 0.0)
-        match = "ok" if result.summary == serial.summary else "MISMATCH"
-        print(f"  workers {workers:2d}  "
-              f"{result.nodes_per_second:8.1f} nodes/s  "
-              f"({speedup:.2f}x vs serial, results {match})")
-    return 0
+def main(argv=None) -> int:
+    """Plain-script mode: replay the campaign, emit BENCH_fleet.json."""
+    from repro.sweep import bench_main
+
+    return bench_main("fleet", argv)
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@ throughput) so regressions in the substrate are visible.
 Run with::
 
     pytest benchmarks/bench_platform.py --benchmark-only
+    python benchmarks/bench_platform.py   # emit BENCH_platform.json
 """
 
 from repro.hw import System
@@ -89,3 +90,14 @@ def test_dsp_filter_throughput(benchmark):
     mf = MorphologicalFilter(fs=record.fs)
     filtered = benchmark(mf.process, record.leads[0])
     assert len(filtered) == record.num_samples
+
+
+def main(argv=None) -> int:
+    """Plain-script mode: replay the campaign, emit BENCH_platform.json."""
+    from repro.sweep import bench_main
+
+    return bench_main("platform", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,7 @@
 Run with::
 
     pytest benchmarks/bench_table1.py --benchmark-only
+    python benchmarks/bench_table1.py     # emit BENCH_table1.json
 """
 
 import pytest
@@ -34,3 +35,14 @@ def test_table1_full(benchmark):
     assert "Saving" in report
     print()
     print(report)
+
+
+def main(argv=None) -> int:
+    """Plain-script mode: replay the campaign, emit BENCH_table1.json."""
+    from repro.sweep import bench_main
+
+    return bench_main("table1", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

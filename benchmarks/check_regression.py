@@ -1,0 +1,128 @@
+"""CI benchmark-regression gate.
+
+Compares a freshly produced ``BENCH_all.json`` against the checked-in
+baseline (``benchmarks/baseline.json``) and fails when any bench's
+simulated-seconds-per-second throughput regresses by more than the
+tolerance (default 30 %).
+
+The baseline records *conservative* throughput floors (well below a
+typical developer machine) so the gate only trips on genuine
+regressions — an accidentally quadratic hot path, a sweep that stopped
+caching — not on CI-runner jitter.  Refresh it with::
+
+    python benchmarks/run_all.py --out-dir bench-out --no-cache
+    python benchmarks/check_regression.py bench-out/BENCH_all.json \
+        benchmarks/baseline.json --update
+
+Run with::
+
+    python benchmarks/check_regression.py bench-out/BENCH_all.json \
+        benchmarks/baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+#: Fraction of baseline throughput a bench may lose before failing.
+DEFAULT_TOLERANCE = 0.30
+
+#: Margin applied by ``--update``: the recorded floor is this fraction
+#: of the measured throughput, absorbing machine-to-machine spread
+#: (CI runners are routinely several times slower than a dev box).
+UPDATE_MARGIN = 0.25
+
+
+def check(
+    merged: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Return a list of failure messages (empty = gate passes).
+
+    A bench whose payload shows cache hits is rejected outright: its
+    ``sim_s_per_s`` measures cache lookups, not simulation, so
+    comparing it against a cold baseline would be meaningless.
+    """
+    failures = []
+    benches = merged.get("benches", {})
+    for name, floor in sorted(baseline.get("sim_s_per_s", {}).items()):
+        payload = benches.get(name)
+        if payload is None:
+            failures.append(f"{name}: missing from BENCH_all.json")
+            continue
+        hits = payload.get("cache", {}).get("hits", 0)
+        if hits:
+            failures.append(
+                f"{name}: {hits} cache hit(s) — the gate needs a cold "
+                f"run (use --no-cache)"
+            )
+            continue
+        measured = payload.get("sim_s_per_s", 0.0)
+        allowed = floor * (1.0 - tolerance)
+        if measured < allowed:
+            failures.append(
+                f"{name}: {measured:.1f} sim-s/s < {allowed:.1f} "
+                f"(baseline {floor:.1f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def update_baseline(merged: dict) -> dict:
+    """A fresh baseline document derived from a measured run."""
+    return {
+        "schema": "repro-bench-baseline/1",
+        "note": (
+            "conservative sim-s/s floors; refresh with "
+            "check_regression.py --update"
+        ),
+        "sim_s_per_s": {
+            name: round(payload["sim_s_per_s"] * UPDATE_MARGIN, 3)
+            for name, payload in sorted(merged.get("benches", {}).items())
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when benchmark throughput regresses"
+    )
+    parser.add_argument("bench", help="path to BENCH_all.json")
+    parser.add_argument("baseline", help="path to baseline.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression (default: 0.30)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of checking",
+    )
+    args = parser.parse_args(argv)
+    with open(args.bench, encoding="utf-8") as handle:
+        merged = json.load(handle)
+    if args.update:
+        baseline = update_baseline(merged)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = check(merged, baseline, tolerance=args.tolerance)
+    if failures:
+        print("benchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    floors = baseline.get("sim_s_per_s", {})
+    print(
+        f"benchmark regression gate passed ({len(floors)} bench(es), "
+        f"tolerance {args.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

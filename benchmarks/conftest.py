@@ -2,10 +2,11 @@
 
 Each ``bench_*`` file regenerates one artifact of the paper's
 evaluation (see DESIGN.md's experiment index) while pytest-benchmark
-times the regeneration.  A reduced simulated duration keeps wall time
-reasonable; the reproduced metrics are duration-invariant (stationary
-workloads), which the test suite verifies separately.
+times the regeneration; the plain-script modes replay the same
+campaigns through :mod:`repro.sweep` and emit ``BENCH_<name>.json``.
+The reduced simulated duration keeps wall time reasonable; the
+reproduced metrics are duration-invariant (stationary workloads),
+which the test suite verifies separately.
 """
 
-#: Simulated seconds used by the benchmark harness runs.
-BENCH_DURATION_S = 15.0
+from repro.sweep.specs import BENCH_DURATION_S  # noqa: F401

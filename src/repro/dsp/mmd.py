@@ -132,7 +132,6 @@ class MmdDelineator:
         amplitude = float(np.percentile(np.abs(combined), 99.5)) or 1.0
         search = int(p.qrs_search_s * fs)
         beats: list[DelineatedBeat] = []
-        n = len(combined)
         for peak in r_peaks:
             onset = self._boundary(corners_qrs, peak, -1, search)
             offset = self._boundary(corners_qrs, peak, +1, search)

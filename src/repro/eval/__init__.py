@@ -18,6 +18,7 @@ from .report import (
     render_fig6,
     render_fig7,
     render_net,
+    render_sweep,
     render_table1,
 )
 from .runconfig import (
@@ -53,6 +54,7 @@ __all__ = [
     "render_fig6",
     "render_fig7",
     "render_net",
+    "render_sweep",
     "render_table1",
     "rp_case",
     "run_all_ablations",

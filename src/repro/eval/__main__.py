@@ -7,16 +7,31 @@ Usage::
     python -m repro.eval fig7
     python -m repro.eval ablations
     python -m repro.eval net [--scenario S] [--nodes N] [--workers W]
+    python -m repro.eval sweep [--spec NAME | --spec-file F] [--workers W]
     python -m repro.eval all
+
+Every experiment is its own subcommand with its own flags; ``sweep``
+runs a declarative campaign through :mod:`repro.sweep` (cached,
+sharded) and can emit JSON/CSV artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 
 from ..net.fleet import DEFAULT_SEED
 from ..net.scenarios import SCENARIOS
 from ..net.timesync import PROTOCOLS
+from ..sweep import (
+    ResultCache,
+    SPECS,
+    get_spec,
+    run_sweep,
+    spec_from_mapping,
+    write_bench_json,
+    write_csv,
+)
 from .ablations import run_all_ablations
 from .fig6 import run_fig6
 from .fig7 import run_fig7
@@ -26,6 +41,7 @@ from .report import (
     render_fig6,
     render_fig7,
     render_net,
+    render_sweep,
     render_table1,
 )
 from .runconfig import DURATION_S
@@ -53,23 +69,17 @@ def _positive_float(text: str) -> float:
     return value
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Run the requested experiment and print its report."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.eval",
-        description="Reproduce the paper's tables and figures.")
-    parser.add_argument(
-        "experiment",
-        choices=("table1", "fig6", "fig7", "ablations", "net", "all"),
-        help="which artifact to regenerate")
+def _add_duration(parser: argparse.ArgumentParser,
+                  default_hint: str) -> None:
     parser.add_argument(
         "--duration", type=_positive_float, default=None,
-        help="simulated seconds (default: the paper's 60 s; "
-             f"{NET_DURATION_S:g} s for the network experiment)")
+        help=f"simulated seconds (default: {default_hint})")
+
+
+def _add_net_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scenario", choices=sorted(SCENARIOS), default=None,
-        help="fleet scenario of the network experiment "
-             "(default: drifting-wearables)")
+        help="fleet scenario (default: drifting-wearables)")
     parser.add_argument(
         "--nodes", type=_nonnegative_int, default=None,
         help="fleet size (default: the scenario preset)")
@@ -77,42 +87,123 @@ def main(argv: list[str] | None = None) -> int:
         "--protocol", choices=sorted(PROTOCOLS), default=None,
         help="override the scenario's sync protocol")
     parser.add_argument(
-        "--workers", type=_positive_int, default=None,
+        "--workers", type=_positive_int, default=1,
         help="worker processes of the fleet runner (default: 1)")
     parser.add_argument(
-        "--seed", type=int, default=None,
-        help=f"fleet seed of the network experiment "
-             f"(default: {DEFAULT_SEED})")
-    args = parser.parse_args(argv)
-    duration = DURATION_S if args.duration is None else args.duration
-    if args.experiment not in ("net", "all"):
-        net_flags = {"--scenario": args.scenario, "--nodes": args.nodes,
-                     "--protocol": args.protocol,
-                     "--workers": args.workers, "--seed": args.seed}
-        misused = [flag for flag, value in net_flags.items()
-                   if value is not None]
-        if misused:
-            parser.error(f"{', '.join(misused)} only apply(ies) to "
-                         f"the net experiment")
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"fleet seed (default: {DEFAULT_SEED})")
 
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Reproduce the paper's tables and figures, "
+                    "or run declarative sweeps.")
+    commands = parser.add_subparsers(dest="experiment", required=True,
+                                     metavar="experiment")
+    paper_default = f"the paper's {DURATION_S:g} s"
+    for name, text in (("table1", "reproduce Table I"),
+                       ("fig6", "reproduce Figure 6"),
+                       ("fig7", "reproduce Figure 7"),
+                       ("ablations", "run the mechanism ablations"),
+                       ("all", "run every experiment")):
+        sub = commands.add_parser(name, help=text)
+        _add_duration(sub, paper_default)
+        if name == "all":
+            _add_net_flags(sub)
+    net = commands.add_parser(
+        "net", help="run the fleet network experiment")
+    _add_duration(net, f"{NET_DURATION_S:g} s")
+    _add_net_flags(net)
+
+    sweep = commands.add_parser(
+        "sweep", help="run a declarative sweep campaign (cached)")
+    source = sweep.add_mutually_exclusive_group()
+    source.add_argument(
+        "--spec", choices=sorted(SPECS), default="demo",
+        help="built-in campaign to run (default: demo)")
+    source.add_argument(
+        "--spec-file", default=None, metavar="FILE",
+        help="JSON file holding a sweep spec "
+             "(see repro.sweep.spec_from_mapping)")
+    sweep.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes for cache misses (default: 1)")
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_SWEEP_CACHE "
+             "or ~/.cache/repro-sweep)")
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable cache reads and writes")
+    sweep.add_argument(
+        "--force", action="store_true",
+        help="re-execute every point (results refresh the cache)")
+    sweep.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the BENCH JSON artifact here")
+    sweep.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write the flat CSV table here")
+    sweep.add_argument(
+        "--list", action="store_true",
+        help="list built-in campaigns and exit")
+    return parser
+
+
+def _run_sweep_command(args: argparse.Namespace) -> str:
+    if args.list:
+        return "\n".join(
+            f"{name:<12} {SPECS[name].description}"
+            for name in sorted(SPECS))
+    if args.spec_file is not None:
+        with open(args.spec_file, encoding="utf-8") as handle:
+            spec = spec_from_mapping(json.load(handle))
+    else:
+        spec = get_spec(args.spec)
+    cache = None
+    if not args.no_cache and args.cache_dir is not None:
+        cache = ResultCache(root=args.cache_dir)
+    result = run_sweep(spec, workers=args.workers, cache=cache,
+                       use_cache=not args.no_cache, force=args.force)
+    if args.json is not None:
+        write_bench_json(result, args.json)
+    if args.csv is not None:
+        write_csv(result, args.csv)
+    return render_sweep(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiment and print its report."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    experiment = args.experiment
+
+    if experiment == "sweep":
+        print(_run_sweep_command(args))
+        return 0
+
+    duration = getattr(args, "duration", None)
+    paper_duration = DURATION_S if duration is None else duration
     sections: list[str] = []
-    if args.experiment in ("table1", "all"):
-        sections.append(render_table1(run_table1(duration)))
-    if args.experiment in ("fig6", "all"):
-        sections.append(render_fig6(run_fig6(duration)))
-    if args.experiment in ("fig7", "all"):
-        sections.append(render_fig7(run_fig7(duration_s=duration)))
-    if args.experiment in ("ablations", "all"):
-        sections.append(render_ablations(run_all_ablations(duration)))
-    if args.experiment in ("net", "all"):
-        net_duration = (NET_DURATION_S if args.duration is None
-                        else args.duration)
+    if experiment in ("table1", "all"):
+        sections.append(render_table1(run_table1(paper_duration)))
+    if experiment in ("fig6", "all"):
+        sections.append(render_fig6(run_fig6(paper_duration)))
+    if experiment in ("fig7", "all"):
+        sections.append(render_fig7(run_fig7(
+            duration_s=paper_duration)))
+    if experiment in ("ablations", "all"):
+        sections.append(render_ablations(run_all_ablations(
+            paper_duration)))
+    if experiment in ("net", "all"):
+        net_duration = NET_DURATION_S if duration is None else duration
         sections.append(render_net(run_net(
             scenario=args.scenario or "drifting-wearables",
             n_nodes=args.nodes,
             duration_s=net_duration, protocol=args.protocol,
-            workers=args.workers or 1,
-            seed=DEFAULT_SEED if args.seed is None else args.seed)))
+            workers=args.workers,
+            seed=args.seed)))
     print("\n\n".join(sections))
     return 0
 

@@ -18,7 +18,7 @@ from ..net.fleet import (
     FleetResult,
     run_fleet,
 )
-from ..net.stats import SyncError
+from ..net.stats import SyncError, improvement_ratio
 
 #: Default simulated seconds of the network experiment (the fleet
 #: runner's own default; re-exported under the experiment's name).
@@ -51,9 +51,8 @@ class NetReport:
     @property
     def improvement(self) -> float:
         """Steady-state mean |error| ratio, unsynced / synced."""
-        if self.synced.mean_abs_s <= 0.0:
-            return float("inf") if self.unsynced.mean_abs_s > 0.0 else 1.0
-        return self.unsynced.mean_abs_s / self.synced.mean_abs_s
+        return improvement_ratio(self.unsynced.mean_abs_s,
+                                 self.synced.mean_abs_s)
 
 
 def run_net(scenario: str = "drifting-wearables",

@@ -7,6 +7,8 @@ numbers alongside for comparison.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..net.stats import FleetSummary, SyncError
 from ..power.energy import CATEGORIES
 from .ablations import AblationResult
@@ -15,6 +17,9 @@ from .fig7 import Fig7Point
 from .netexp import NetReport
 from .table1 import PAPER_TABLE1, Table1Column
 
+if TYPE_CHECKING:  # imported lazily inside render_sweep (no cycle)
+    from ..sweep.engine import SweepResult
+
 __all__ = [
     "FleetSummary",
     "SyncError",
@@ -22,6 +27,7 @@ __all__ = [
     "render_fig6",
     "render_fig7",
     "render_net",
+    "render_sweep",
     "render_table1",
 ]
 
@@ -183,6 +189,83 @@ def render_net(report: NetReport) -> str:
     lines.append(
         f"  throughput: {report.result.nodes_per_second:.1f} nodes/s "
         f"({report.result.elapsed_s:.2f} s)")
+    return "\n".join(lines)
+
+
+def _sweep_cell(value) -> str:
+    """Format one sweep-table cell compactly."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_sweep(result: "SweepResult", max_rows: int = 48) -> str:
+    """Render a sweep as a compact table: axes, headline metrics, cache.
+
+    Columns are the spec's axes plus the run family's headline
+    metrics (see :data:`repro.sweep.runners.HEADLINE_METRICS`) plus
+    per-point wall time and cache status.  Long sweeps are elided
+    after ``max_rows`` rows.
+    """
+    from ..sweep.runners import HEADLINE_METRICS
+
+    spec = result.spec
+    axes = list(spec.axis_names)
+    metrics = [
+        key
+        for key in HEADLINE_METRICS.get(spec.runner, ())
+        if any(key in point.metrics for point in result.results)
+    ]
+    header = axes + metrics + ["wall_s", "cached"]
+    table: list[list[str]] = [header]
+    for point in result.results[:max_rows]:
+        row = [_sweep_cell(point.point.get(axis, "")) for axis in axes]
+        row.extend(
+            _sweep_cell(point.metrics.get(key, "")) for key in metrics
+        )
+        row.append(f"{point.wall_s:.3f}")
+        row.append("hit" if point.cached else "run")
+        table.append(row)
+    widths = [
+        max(len(row[col]) for row in table)
+        for col in range(len(header))
+    ]
+    lines = [
+        f"Sweep {spec.name!r} ({spec.runner} runner): "
+        f"{result.n_points} point(s), {result.workers} worker(s), "
+        f"{result.mode}"
+    ]
+    if spec.description:
+        lines.append(f"  {spec.description}")
+    lines.append(
+        "  "
+        + "  ".join(
+            cell.rjust(width) for cell, width in zip(header, widths)
+        )
+    )
+    lines.append("  " + "-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in table[1:]:
+        lines.append(
+            "  "
+            + "  ".join(
+                cell.rjust(width) for cell, width in zip(row, widths)
+            )
+        )
+    elided = result.n_points - (len(table) - 1)
+    if elided > 0:
+        lines.append(f"  ... {elided} more point(s) elided")
+    lines.append(
+        f"  cache: {result.cache_hits} hit(s), "
+        f"{result.cache_misses} miss(es)"
+        + (f" [{result.fingerprint}]" if result.fingerprint else
+           " (disabled)")
+    )
+    lines.append(
+        f"  throughput: {result.sim_s_per_s:.1f} simulated-s/s "
+        f"({result.simulated_s:g} sim-s in {result.elapsed_s:.2f} s)"
+    )
     return "\n".join(lines)
 
 

@@ -25,10 +25,9 @@ The same class models the paper's two configurations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
-from ..core.syncpoint import SyncOp
 from ..core.synchronizer import Synchronizer, SynchronizerStats
 from ..isa.encoding import Instruction, decode
 from ..isa.errors import LoadError

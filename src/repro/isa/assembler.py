@@ -60,9 +60,9 @@ from dataclasses import dataclass, field
 
 from .encoding import Instruction, encode
 from .errors import AssemblerError, LinkError
-from .layout import ImGeometry, PlatformGeometry, DEFAULT_GEOMETRY
+from .layout import PlatformGeometry, DEFAULT_GEOMETRY
 from .program import ProgramImage, SectionInfo
-from .spec import MNEMONIC_TABLE, REG_ALIASES, Op, fits_signed
+from .spec import MNEMONIC_TABLE, REG_ALIASES, Op
 
 _TOKEN_RE = re.compile(
     r"\s*(?:"

@@ -18,12 +18,10 @@ Wall-clock timing (elapsed seconds, nodes/second) is reported on
 
 from __future__ import annotations
 
-import math
-import multiprocessing
-import sys
 import time
 from dataclasses import dataclass
 
+from ..parallel import even_shard_size, pool_map, shard
 from .node import (
     ERROR_SAMPLE_HZ,
     REFERENCE_NODE_ID,
@@ -96,12 +94,6 @@ def _simulate_shard(payload: tuple) -> list[NodeResult]:
     return results
 
 
-def _shard(node_ids: list[int], shard_size: int) -> list[list[int]]:
-    """Split ids into contiguous batches of at most ``shard_size``."""
-    return [node_ids[start:start + shard_size]
-            for start in range(0, len(node_ids), shard_size)]
-
-
 class FleetRunner:
     """Executes a :class:`FleetConfig` serially or on a process pool."""
 
@@ -142,11 +134,8 @@ class FleetRunner:
         config = self.config
         node_ids = list(range(config.n_nodes))
         if shard_size is None:
-            shard_size = max(1, math.ceil(len(node_ids) / workers)) \
-                if node_ids else 1
-        if shard_size < 1:
-            raise ValueError("shard size must be positive")
-        shards = _shard(node_ids, shard_size)
+            shard_size = even_shard_size(len(node_ids), workers)
+        shards = shard(node_ids, shard_size)
         beacons, sample_times, ref_readings = self._schedule()
         payloads = [(config, ids, beacons, sample_times, ref_readings)
                     for ids in shards]
@@ -155,16 +144,7 @@ class FleetRunner:
         workers_used = min(workers, len(shards)) if parallel else 1
         start = time.perf_counter()
         if parallel:
-            # fork is the cheap path but is only reliably safe on
-            # Linux (macOS lists it as available, yet forking with
-            # numpy/Accelerate loaded can crash); elsewhere use the
-            # platform default (spawn) — payloads are all picklable.
-            use_fork = (sys.platform.startswith("linux") and "fork"
-                        in multiprocessing.get_all_start_methods())
-            ctx = multiprocessing.get_context("fork" if use_fork
-                                              else None)
-            with ctx.Pool(processes=workers_used) as pool:
-                batches = pool.map(_simulate_shard, payloads)
+            batches = pool_map(_simulate_shard, payloads, workers_used)
         else:
             batches = [_simulate_shard(payload) for payload in payloads]
         elapsed = time.perf_counter() - start

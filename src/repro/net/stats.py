@@ -63,6 +63,19 @@ class SyncError:
         )
 
 
+def improvement_ratio(unsync_s: float, sync_s: float) -> float:
+    """How many times smaller the synced error is (unsync / sync).
+
+    A perfectly synced fleet (zero residual error) yields ``inf`` when
+    the free-running error is positive and ``1.0`` when both are zero.
+    The network report and the fleet sweep runner both quote this
+    figure, so its edge-case semantics live here, once.
+    """
+    if sync_s > 0.0:
+        return unsync_s / sync_s
+    return float("inf") if unsync_s > 0.0 else 1.0
+
+
 @dataclass(frozen=True)
 class FleetSummary:
     """Deterministic aggregate of one fleet run.

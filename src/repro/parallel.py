@@ -1,0 +1,56 @@
+"""Shared shard-and-merge multiprocessing helpers.
+
+Both embarrassingly parallel layers — the fleet runner
+(:mod:`repro.net.fleet`) and the sweep engine
+(:mod:`repro.sweep.engine`) — follow the same discipline: split work
+into contiguous shards, execute them on a :mod:`multiprocessing` pool
+(or inline), and merge results in a fixed order so serial and parallel
+execution are indistinguishable.  The platform-sensitive policy (fork
+on Linux, the platform default elsewhere) lives here, once.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import sys
+from typing import Callable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def shard(items: Sequence[Item], shard_size: int) -> list[list[Item]]:
+    """Split items into contiguous batches of at most ``shard_size``."""
+    if shard_size < 1:
+        raise ValueError("shard size must be positive")
+    return [
+        list(items[start : start + shard_size])
+        for start in range(0, len(items), shard_size)
+    ]
+
+
+def even_shard_size(count: int, workers: int) -> int:
+    """The batch size that spreads ``count`` items evenly."""
+    return max(1, math.ceil(count / workers)) if count else 1
+
+
+def pool_map(
+    fn: Callable[[Item], Result],
+    payloads: Sequence[Item],
+    workers: int,
+) -> list[Result]:
+    """Map a picklable top-level function over payloads on a pool.
+
+    fork is the cheap path but is only reliably safe on Linux (macOS
+    lists it as available, yet forking with numpy/Accelerate loaded
+    can crash); elsewhere use the platform default (spawn) — payloads
+    must be picklable either way.
+    """
+    use_fork = (
+        sys.platform.startswith("linux")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    ctx = multiprocessing.get_context("fork" if use_fork else None)
+    with ctx.Pool(processes=workers) as pool:
+        return pool.map(fn, payloads)

@@ -1,0 +1,269 @@
+"""Run families the sweep engine can execute.
+
+Each runner is a pure function ``point -> metrics``: it takes one flat
+parameter mapping produced by :func:`repro.sweep.spec.expand` and
+returns a flat, JSON-serialisable metric mapping.  Purity is what the
+cache relies on — a runner must depend only on its point (plus the
+code the fingerprint covers), never on ambient state.
+
+Families:
+
+* ``app`` — one (benchmark, mode) system-level simulation through
+  :func:`repro.sysc.engine.simulate`; axes reach the application
+  (``app``, ``ratio``), the platform (``num_cores``), the VFS planner
+  (``floor_mhz``) and the input (``duration_s``).
+* ``fleet`` — one multi-node scenario through
+  :func:`repro.net.fleet.run_fleet`; axes reach the scenario preset,
+  sync protocol, fleet size, duration and seed.  Runs serially inside
+  the sweep worker (the sweep pool is the parallelism).
+* ``platform`` — the cycle-accurate :class:`repro.hw.system.System`
+  running a spin kernel; axes reach core count and cycle budget.
+* ``ablation`` — one mechanism ablation from
+  :mod:`repro.eval.ablations`.
+
+Every metric mapping carries ``simulated_s``: the simulated seconds
+the point covered, the numerator of the benchmark schema's
+simulated-seconds-per-second throughput figure.  The ``platform``
+family counts cycles, reported as seconds at the 1 MHz platform floor
+clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..eval.ablations import (
+    ablate_broadcast,
+    ablate_lockstep_recovery,
+    ablate_sleep,
+    ablate_vfs,
+)
+from ..hw.system import System
+from ..isa import assemble
+from ..net.fleet import run_fleet
+from ..net.node import APPS
+from ..net.stats import improvement_ratio
+from ..power.vfs import MIN_SYSTEM_CLOCK_MHZ
+from ..sysc.engine import Mode, simulate, uniform_schedule
+from .spec import Value, stable_seed
+
+#: Benchmark-application factories, keyed by Table I name — the same
+#: registry fleet nodes draw from (every factory takes the
+#: pathological-beat ratio; the fixed filtering chains ignore it).
+APP_FACTORIES: dict[str, Callable] = APPS
+
+#: Default pathological ratio per application (Table I settings).
+_DEFAULT_RATIO = {"3L-MF": 0.0, "3L-MMD": 0.0, "RP-CLASS": 0.20}
+
+#: Spin kernel of the platform family (same shape as the platform
+#: microbenchmarks' countdown loop, but endless so every point runs
+#: its full cycle budget and the cycle count is budget-exact).
+_SPIN_SOURCE = """
+main:
+    li r1, 1
+loop:
+    addi r1, r1, 1
+    bnez r1, loop
+    halt
+"""
+
+#: Metric columns the compact table renderer shows per family.
+HEADLINE_METRICS: dict[str, tuple[str, ...]] = {
+    "app": ("power_uw", "clock_mhz", "voltage", "runtime_overhead"),
+    "fleet": (
+        "mean_power_uw",
+        "steady_sync_ms",
+        "steady_unsync_ms",
+        "improvement",
+    ),
+    "platform": ("cycles", "im_broadcast", "active_cycles"),
+    "ablation": ("with_uw", "without_uw", "penalty"),
+}
+
+
+class RunnerError(ValueError):
+    """A point carries parameters its runner cannot execute."""
+
+
+def _param(point: dict, name: str, default: Value) -> Value:
+    value = point.get(name, default)
+    return default if value is None else value
+
+
+def run_app_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Simulate one (application, mode) configuration."""
+    app_name = str(_param(point, "app", "3L-MF"))
+    if app_name not in APP_FACTORIES:
+        raise RunnerError(
+            f"unknown app {app_name!r}; choose from "
+            f"{sorted(APP_FACTORIES)}"
+        )
+    mode_name = str(_param(point, "mode", Mode.MULTI_CORE.value))
+    try:
+        mode = Mode(mode_name)
+    except ValueError:
+        raise RunnerError(
+            f"unknown mode {mode_name!r}; choose from "
+            f"{sorted(m.value for m in Mode)}"
+        ) from None
+    ratio = float(_param(point, "ratio", _DEFAULT_RATIO[app_name]))
+    duration_s = float(_param(point, "duration_s", 10.0))
+    num_cores = int(_param(point, "num_cores", 8))
+    floor_mhz = float(_param(point, "floor_mhz", MIN_SYSTEM_CLOCK_MHZ))
+    app = APP_FACTORIES[app_name](ratio)
+    schedule = uniform_schedule(duration_s, app.fs, abnormal_ratio=ratio)
+    result = simulate(
+        app,
+        mode,
+        schedule,
+        duration_s=duration_s,
+        num_cores=num_cores,
+        floor_mhz=floor_mhz,
+    )
+    metrics: dict[str, Value] = {
+        "simulated_s": duration_s,
+        "power_uw": result.power.total_uw,
+        "clock_mhz": result.operating_point.frequency_mhz,
+        "voltage": result.operating_point.voltage,
+        "required_mhz": result.required_mhz,
+        "active_cores": result.mapping.active_cores,
+        "im_broadcast": result.im_broadcast_fraction,
+        "dm_broadcast": result.dm_broadcast_fraction,
+        "code_overhead": result.code_overhead,
+        "runtime_overhead": result.runtime_overhead,
+        "max_latency_s": result.max_latency_s,
+    }
+    for category, power_uw in result.power.categories.items():
+        metrics[f"power_{category}_uw"] = power_uw
+    return metrics
+
+
+def run_fleet_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Simulate one multi-node fleet scenario (serially)."""
+    scenario = str(_param(point, "scenario", "drifting-wearables"))
+    duration_s = float(_param(point, "duration_s", 5.0))
+    nodes = point.get("nodes")
+    protocol = point.get("protocol")
+    seed = point.get("seed")
+    if seed is None:
+        seed = stable_seed("fleet", dict(point))
+    result = run_fleet(
+        scenario,
+        n_nodes=None if nodes is None else int(nodes),
+        duration_s=duration_s,
+        seed=int(seed),
+        protocol=None if protocol is None else str(protocol),
+        workers=1,
+    )
+    summary = result.summary
+    improvement = improvement_ratio(
+        summary.steady_unsync.mean_abs_s, summary.steady_sync.mean_abs_s
+    )
+    return {
+        "simulated_s": duration_s * summary.n_nodes,
+        "n_nodes": summary.n_nodes,
+        "protocol": summary.protocol,
+        "seed": int(seed),
+        "mean_power_uw": summary.mean_power_uw,
+        "mean_radio_uw": summary.mean_radio_uw,
+        "beacons_sent": summary.beacons_sent,
+        "beacons_heard": summary.beacons_heard,
+        "power_loss_resets": summary.power_loss_resets,
+        "sync_ms": summary.sync.mean_abs_s * 1e3,
+        "unsync_ms": summary.unsync.mean_abs_s * 1e3,
+        "steady_sync_ms": summary.steady_sync.mean_abs_s * 1e3,
+        "steady_unsync_ms": summary.steady_unsync.mean_abs_s * 1e3,
+        "improvement": improvement,
+    }
+
+
+def run_platform_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Run the cycle-accurate platform on a spin kernel."""
+    cores = int(_param(point, "cores", 8))
+    cycles = int(_param(point, "cycles", 20_000))
+    if cores < 1:
+        raise RunnerError("platform needs at least one core")
+    if cores == 1:
+        system = System.singlecore()
+        image = assemble(_SPIN_SOURCE)
+    else:
+        system = System.multicore(num_cores=cores)
+        entries = "\n".join(f".entry {core}, main" for core in range(cores))
+        image = assemble(entries + _SPIN_SOURCE)
+    system.load(image)
+    system.run(cycles)
+    activity = system.activity()
+    return {
+        # Cycle count rendered as seconds at the 1 MHz platform floor.
+        "simulated_s": system.cycle / 1e6,
+        "cycles": system.cycle,
+        "active_cycles": sum(activity.core_active_cycles),
+        "instructions": activity.instructions,
+        "im_broadcast": activity.im_broadcast_fraction,
+    }
+
+
+#: Ablation registry: name -> (driver, result picker).  ``sleep``
+#: returns one result per benchmark; the picker selects by the
+#: point's ``app`` parameter.
+_ABLATIONS: dict[str, Callable] = {
+    "broadcast": ablate_broadcast,
+    "vfs": ablate_vfs,
+    "sleep": ablate_sleep,
+    "lockstep": ablate_lockstep_recovery,
+}
+
+
+def run_ablation_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Run one mechanism ablation."""
+    name = str(_param(point, "ablation", "broadcast"))
+    if name not in _ABLATIONS:
+        raise RunnerError(
+            f"unknown ablation {name!r}; choose from {sorted(_ABLATIONS)}"
+        )
+    duration_s = float(_param(point, "duration_s", 10.0))
+    outcome = _ABLATIONS[name](duration_s)
+    if isinstance(outcome, list):
+        # ``sleep`` ablates every benchmark; the ``app`` parameter
+        # picks one (descriptions carry the benchmark name).
+        wanted = point.get("app")
+        matches = [
+            result
+            for result in outcome
+            if wanted is not None and str(wanted) in result.description
+        ]
+        result = matches[0] if matches else outcome[0]
+        simulated = duration_s * len(outcome)
+    else:
+        result = outcome
+        simulated = duration_s
+    return {
+        "simulated_s": simulated,
+        "name": result.name,
+        "with_uw": result.with_feature_uw,
+        "without_uw": result.without_feature_uw,
+        "penalty": result.penalty_fraction,
+    }
+
+
+#: Run-family registry the engine dispatches through.
+RUNNERS: dict[str, Callable[[dict], dict]] = {
+    "app": run_app_point,
+    "fleet": run_fleet_point,
+    "platform": run_platform_point,
+    "ablation": run_ablation_point,
+}
+
+
+def get_runner(name: str) -> Callable[[dict], dict]:
+    """Look up a run family.
+
+    Raises:
+        RunnerError: unknown family name.
+    """
+    try:
+        return RUNNERS[name]
+    except KeyError:
+        raise RunnerError(
+            f"unknown runner {name!r}; choose from {sorted(RUNNERS)}"
+        ) from None

@@ -1,0 +1,156 @@
+"""Built-in sweep campaigns.
+
+:data:`SPECS` is the CLI-facing registry (``python -m repro.eval sweep
+--spec <name>``); :data:`BENCH_SPECS` is the subset the benchmark
+harness replays to emit ``BENCH_<name>.json`` artifacts (shorter
+durations — the reproduced metrics are duration-invariant, which the
+test suite pins separately).
+
+The ``demo`` campaign is the canonical 3-axis example from the README:
+benchmark x execution mode x simulated duration, 24 points.
+"""
+
+from __future__ import annotations
+
+from ..eval.runconfig import FIG7_RATIOS
+from .spec import SweepSpec
+
+#: Simulated seconds of the benchmark campaigns (mirrors the
+#: pytest-benchmark harness's reduced duration).
+BENCH_DURATION_S = 15.0
+
+DEMO = SweepSpec(
+    name="demo",
+    runner="app",
+    description="3-axis demo: benchmark x mode x duration (24 points)",
+    axes=(
+        ("app", ("3L-MF", "3L-MMD", "RP-CLASS")),
+        ("mode", ("single-core", "multi-core")),
+        ("duration_s", (120.0, 240.0, 360.0, 480.0)),
+    ),
+)
+
+TABLE1 = SweepSpec(
+    name="table1",
+    runner="app",
+    description="Table I grid: every benchmark, SC and MC",
+    axes=(
+        ("app", ("3L-MF", "3L-MMD", "RP-CLASS")),
+        ("mode", ("single-core", "multi-core")),
+    ),
+    base=(("duration_s", BENCH_DURATION_S),),
+)
+
+FIG6 = SweepSpec(
+    name="fig6",
+    runner="app",
+    description="Fig. 6 grid: every benchmark, all three configurations",
+    axes=(
+        ("app", ("3L-MF", "3L-MMD", "RP-CLASS")),
+        ("mode", ("single-core", "multi-core-no-sync", "multi-core")),
+    ),
+    base=(("duration_s", BENCH_DURATION_S),),
+)
+
+FIG7 = SweepSpec(
+    name="fig7",
+    runner="app",
+    description="Fig. 7 sweep: RP-CLASS pathological ratio, SC vs MC",
+    axes=(
+        ("ratio", FIG7_RATIOS),
+        ("mode", ("single-core", "multi-core")),
+    ),
+    base=(("app", "RP-CLASS"), ("duration_s", BENCH_DURATION_S)),
+)
+
+VFS_FLOOR = SweepSpec(
+    name="vfs-floor",
+    runner="app",
+    description="VFS sensitivity: system-clock floor x benchmark (MC)",
+    axes=(
+        ("app", ("3L-MF", "3L-MMD", "RP-CLASS")),
+        ("floor_mhz", (1.0, 2.0, 3.3)),
+    ),
+    base=(("mode", "multi-core"), ("duration_s", 5.0)),
+)
+
+CORES = SweepSpec(
+    name="cores",
+    runner="app",
+    description="platform width: cores provisioned x benchmark (MC)",
+    axes=(
+        ("app", ("3L-MF", "3L-MMD", "RP-CLASS")),
+        ("num_cores", (6, 8, 12)),
+    ),
+    base=(("mode", "multi-core"), ("duration_s", 5.0)),
+)
+
+ABLATIONS = SweepSpec(
+    name="ablations",
+    runner="ablation",
+    description="mechanism ablations ABL-1..4",
+    axes=(("ablation", ("broadcast", "vfs", "sleep", "lockstep")),),
+    base=(("duration_s", BENCH_DURATION_S),),
+)
+
+FLEET = SweepSpec(
+    name="fleet",
+    runner="fleet",
+    description="fleet grid: scenario preset x sync protocol",
+    axes=(
+        (
+            "scenario",
+            (
+                "dense-ward",
+                "drifting-wearables",
+                "intermittent-harvesting",
+            ),
+        ),
+        ("protocol", ("none", "rbs", "ftsp")),
+    ),
+    base=(("nodes", 8), ("duration_s", 4.0), ("seed", 2014)),
+)
+
+PLATFORM = SweepSpec(
+    name="platform",
+    runner="platform",
+    description="cycle-accurate spin kernel across core counts",
+    axes=(("cores", (1, 2, 4, 8)),),
+    base=(("cycles", 20_000),),
+)
+
+#: All built-in campaigns, keyed by name.
+SPECS: dict[str, SweepSpec] = {
+    spec.name: spec
+    for spec in (
+        DEMO,
+        TABLE1,
+        FIG6,
+        FIG7,
+        VFS_FLOOR,
+        CORES,
+        ABLATIONS,
+        FLEET,
+        PLATFORM,
+    )
+}
+
+#: The campaigns the benchmark harness emits BENCH artifacts for.
+BENCH_SPECS: dict[str, SweepSpec] = {
+    spec.name: spec
+    for spec in (TABLE1, FIG6, FIG7, ABLATIONS, FLEET, PLATFORM)
+}
+
+
+def get_spec(name: str) -> SweepSpec:
+    """Look up a built-in campaign.
+
+    Raises:
+        ValueError: unknown campaign name.
+    """
+    try:
+        return SPECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep spec {name!r}; choose from {sorted(SPECS)}"
+        ) from None

@@ -24,14 +24,18 @@ Three execution modes mirror the paper's comparisons:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..apps.mapping import MappingPlan, map_multicore, map_singlecore
 from ..apps.phases import AppSpec, Trigger
 from ..power.components import DEFAULT_ENERGY, EnergyParams
 from ..power.energy import ActivityVector, PowerReport, compute_power
 from ..power.process import DEFAULT_PROCESS, ProcessModel
-from ..power.vfs import OperatingPoint, plan_operating_point
+from ..power.vfs import (
+    MIN_SYSTEM_CLOCK_MHZ,
+    OperatingPoint,
+    plan_operating_point,
+)
 from ..signals.records import EcgRecord
 
 #: Data accesses per cycle of a busy-wait polling loop (one flag load
@@ -184,7 +188,8 @@ def _required_clock_mhz(app: AppSpec, mode: Mode,
 def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
              duration_s: float = 60.0, num_cores: int = 8,
              energy: EnergyParams = DEFAULT_ENERGY,
-             process: ProcessModel = DEFAULT_PROCESS) -> SimulationResult:
+             process: ProcessModel = DEFAULT_PROCESS,
+             floor_mhz: float = MIN_SYSTEM_CLOCK_MHZ) -> SimulationResult:
     """Simulate one application in one configuration.
 
     Args:
@@ -195,6 +200,9 @@ def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
         num_cores: cores of the multi-core platform.
         energy: component-energy calibration.
         process: VFS process model.
+        floor_mhz: minimum system clock the VFS planner may choose
+            (the paper's platform floor is 1 MHz; sweeps raise it to
+            probe VFS sensitivity).
     """
     app.validate()
     multicore = mode is not Mode.SINGLE_CORE
@@ -202,7 +210,8 @@ def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
         else map_singlecore(app)
     required = _required_clock_mhz(app, mode, schedule, duration_s)
     point = plan_operating_point(required, process=process,
-                                 single_core=not multicore)
+                                 single_core=not multicore,
+                                 floor_mhz=floor_mhz)
 
     # ------------------------------------------------------------------
     # Build per-core state.

@@ -1,5 +1,7 @@
 """Tests for the experiment command line (python -m repro.eval)."""
 
+import json
+
 import pytest
 
 from repro.eval.__main__ import main
@@ -44,3 +46,48 @@ def test_cli_rejects_unknown_experiment():
 def test_cli_rejects_unknown_scenario():
     with pytest.raises(SystemExit):
         main(["net", "--scenario", "mars-rover"])
+
+
+def test_cli_sweep_list(capsys):
+    assert main(["sweep", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "demo" in out and "fleet" in out
+
+
+def test_cli_sweep_spec_file_with_artifacts(capsys, tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "name": "cli-tiny",
+        "runner": "app",
+        "base": {"duration_s": 1.0},
+        "axes": {"app": ["3L-MF"],
+                 "mode": ["single-core", "multi-core"]},
+    }))
+    json_path = tmp_path / "BENCH_cli.json"
+    csv_path = tmp_path / "cli.csv"
+    assert main(["sweep", "--spec-file", str(spec_path),
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--json", str(json_path),
+                 "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Sweep 'cli-tiny'" in out
+    assert "cache: 0 hit(s), 2 miss(es)" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["points"] == 2
+    assert csv_path.exists()
+    # warm re-run through the same cache directory hits every point
+    assert main(["sweep", "--spec-file", str(spec_path),
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    assert "cache: 2 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+
+def test_cli_sweep_builtin_demo_is_24_points():
+    from repro.sweep import SPECS, expand
+
+    assert len(expand(SPECS["demo"])) >= 24
+    assert len(SPECS["demo"].axes) == 3
+
+
+def test_cli_sweep_rejects_unknown_spec():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--spec", "nonsense"])

@@ -1,0 +1,129 @@
+"""Tests for sweep specs: expansion, dedup, canonical identity."""
+
+import pytest
+
+from repro.sweep import (
+    SpecError,
+    SweepSpec,
+    canonical_point,
+    expand,
+    point_key,
+    spec_from_mapping,
+    stable_seed,
+)
+
+
+def _grid(**axes):
+    return SweepSpec(
+        name="t",
+        runner="app",
+        axes=tuple((k, tuple(v)) for k, v in axes.items()),
+    )
+
+
+def test_expand_cartesian_product_order():
+    spec = _grid(a=(1, 2), b=("x", "y", "z"))
+    points = expand(spec)
+    assert len(points) == 6
+    # last axis varies fastest
+    assert points[0] == {"a": 1, "b": "x"}
+    assert points[1] == {"a": 1, "b": "y"}
+    assert points[3] == {"a": 2, "b": "x"}
+
+
+def test_expand_overlays_base():
+    spec = SweepSpec(
+        name="t",
+        runner="app",
+        axes=(("a", (1, 2)),),
+        base=(("fixed", "v"), ("a", 99)),
+    )
+    points = expand(spec)
+    # the axis overrides the base value of the same name
+    assert points == [{"fixed": "v", "a": 1}, {"fixed": "v", "a": 2}]
+
+
+def test_expand_dedups_identical_points():
+    # both axes collapse onto the same parameter values
+    spec = SweepSpec(
+        name="t",
+        runner="app",
+        axes=(("a", (1, 1, 2)), ("b", ("x", "x"))),
+    )
+    points = expand(spec)
+    assert points == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+
+def test_expand_no_axes_is_single_base_point():
+    spec = SweepSpec(name="t", runner="app", base=(("a", 1),))
+    assert expand(spec) == [{"a": 1}]
+
+
+def test_n_points_is_grid_size_before_dedup():
+    assert _grid(a=(1, 2), b=(3, 4, 5)).n_points() == 6
+
+
+def test_spec_rejects_empty_axis_and_duplicates():
+    with pytest.raises(SpecError):
+        _grid(a=())
+    with pytest.raises(SpecError):
+        SweepSpec(name="t", runner="app",
+                  axes=(("a", (1,)), ("a", (2,))))
+    with pytest.raises(SpecError):
+        SweepSpec(name="", runner="app")
+    with pytest.raises(SpecError):
+        _grid(a=([1],))  # non-scalar value
+
+
+def test_spec_from_mapping_roundtrip():
+    spec = spec_from_mapping({
+        "name": "demo",
+        "runner": "app",
+        "description": "d",
+        "base": {"duration_s": 5.0},
+        "axes": {"app": ["3L-MF"], "mode": ["single-core"]},
+    })
+    assert spec.axis_names == ("app", "mode")
+    assert dict(spec.base) == {"duration_s": 5.0}
+    assert spec.as_dict()["axes"] == {
+        "app": ["3L-MF"], "mode": ["single-core"],
+    }
+
+
+def test_spec_from_mapping_rejects_bad_shapes():
+    with pytest.raises(SpecError):
+        spec_from_mapping({"runner": "app"})
+    with pytest.raises(SpecError):
+        spec_from_mapping({"name": "x", "runner": "app", "axes": []})
+    with pytest.raises(SpecError):
+        spec_from_mapping([1, 2])
+
+
+def test_spec_from_mapping_rejects_scalar_axis():
+    # a bare string would otherwise sweep one point per character
+    with pytest.raises(SpecError, match="list of values"):
+        spec_from_mapping({
+            "name": "x",
+            "runner": "app",
+            "axes": {"mode": "multi-core"},
+        })
+
+
+def test_point_key_is_order_insensitive_and_stable():
+    key_a = point_key("app", {"a": 1, "b": 2})
+    key_b = point_key("app", {"b": 2, "a": 1})
+    assert key_a == key_b
+    assert point_key("app", {"a": 1, "b": 3}) != key_a
+    assert point_key("fleet", {"a": 1, "b": 2}) != key_a
+
+
+def test_stable_seed_deterministic_and_distinct():
+    seed = stable_seed("fleet", {"scenario": "dense-ward"})
+    assert seed == stable_seed("fleet", {"scenario": "dense-ward"})
+    assert seed != stable_seed("fleet", {"scenario": "other"})
+    assert seed >= 0
+
+
+def test_canonical_point_mentions_runner_and_schema():
+    text = canonical_point("app", {"a": 1})
+    assert '"app"' in text and "repro-sweep-point" in text
