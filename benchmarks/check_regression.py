@@ -22,7 +22,13 @@ Run with::
 
 import argparse
 import json
+import os
 import sys
+
+#: Default baseline location (next to this script).
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baseline.json"
+)
 
 #: Fraction of baseline throughput a bench may lose before failing.
 DEFAULT_TOLERANCE = 0.30
@@ -86,7 +92,22 @@ def main(argv=None) -> int:
         description="fail when benchmark throughput regresses"
     )
     parser.add_argument("bench", help="path to BENCH_all.json")
-    parser.add_argument("baseline", help="path to baseline.json")
+    parser.add_argument(
+        "baseline_pos",
+        nargs="?",
+        default=None,
+        metavar="baseline",
+        help="path to baseline.json "
+        "(default: the checked-in benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        dest="baseline_opt",
+        help="baseline path override for local experimentation "
+        "(equivalent to the positional form)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -99,16 +120,26 @@ def main(argv=None) -> int:
         help="rewrite the baseline from this run instead of checking",
     )
     args = parser.parse_args(argv)
+    if args.baseline_pos is not None and args.baseline_opt is not None:
+        parser.error(
+            "give the baseline either positionally or via --baseline, "
+            "not both"
+        )
+    baseline_path = args.baseline_opt
+    if baseline_path is None:
+        baseline_path = args.baseline_pos
+    if baseline_path is None:
+        baseline_path = DEFAULT_BASELINE
     with open(args.bench, encoding="utf-8") as handle:
         merged = json.load(handle)
     if args.update:
         baseline = update_baseline(merged)
-        with open(args.baseline, "w", encoding="utf-8") as handle:
+        with open(baseline_path, "w", encoding="utf-8") as handle:
             json.dump(baseline, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"baseline refreshed: {args.baseline}")
+        print(f"baseline refreshed: {baseline_path}")
         return 0
-    with open(args.baseline, encoding="utf-8") as handle:
+    with open(baseline_path, encoding="utf-8") as handle:
         baseline = json.load(handle)
     failures = check(merged, baseline, tolerance=args.tolerance)
     if failures:

@@ -21,7 +21,13 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.apps` — application graphs + the partition / insert /
   map methodology.
 * :mod:`repro.sysc` — system-level (SystemC-analog) simulator.
-* :mod:`repro.eval` — experiment drivers for Table I, Fig. 6, Fig. 7.
+* :mod:`repro.gen` — seeded synthetic workload generator and
+  mapping-policy explorer (beyond the paper's three apps).
+* :mod:`repro.net` — multi-node WBSN fleets: drifting clocks, beacon
+  radio, inter-node time synchronization.
+* :mod:`repro.sweep` — declarative cached experiment campaigns.
+* :mod:`repro.eval` — experiment drivers for Table I, Fig. 6, Fig. 7,
+  the network report and the generated-workload exploration.
 """
 
 __version__ = "1.0.0"

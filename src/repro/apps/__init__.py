@@ -17,8 +17,11 @@ from .mapping import (
     CoreAssignment,
     MappingError,
     MappingPlan,
+    distinct_sections,
+    dm_footprint,
     map_multicore,
     map_singlecore,
+    sync_points,
 )
 from .phases import AppSpec, ChannelSpec, PhaseSpec, SectionSpec, Trigger
 
@@ -36,12 +39,15 @@ __all__ = [
     "RpClassOutput",
     "SectionSpec",
     "Trigger",
+    "distinct_sections",
+    "dm_footprint",
     "map_multicore",
     "map_singlecore",
     "rp_class",
     "run_rp_class",
     "run_three_lead_mf",
     "run_three_lead_mmd",
+    "sync_points",
     "three_lead_mf",
     "three_lead_mmd",
 ]

@@ -100,7 +100,7 @@ class MappingPlan:
     @property
     def total_code_words(self) -> int:
         """Code size including runtime and inserted sync instructions."""
-        sections = _distinct_sections(self.app)
+        sections = distinct_sections(self.app)
         base = self.app.runtime_words + sum(s.words for s in sections)
         return base + self.sync_code_words
 
@@ -138,7 +138,7 @@ class MappingPlan:
                 if assignment.phase == phase]
 
 
-def _distinct_sections(app: AppSpec) -> list[SectionSpec]:
+def distinct_sections(app: AppSpec) -> list[SectionSpec]:
     """Sections de-duplicated by name, in phase order."""
     seen: dict[str, SectionSpec] = {}
     for phase in app.phases:
@@ -152,11 +152,13 @@ def _distinct_sections(app: AppSpec) -> list[SectionSpec]:
     return list(seen.values())
 
 
-def _dm_footprint(app: AppSpec) -> int:
+def dm_footprint(app: AppSpec) -> int:
+    """Total data words an application touches (all replicas)."""
     return sum(phase.dm_words * phase.replicas for phase in app.phases)
 
 
-def _sync_points(app: AppSpec) -> int:
+def sync_points(app: AppSpec) -> int:
+    """Synchronization points an application needs (groups + channels)."""
     groups = sum(1 for phase in app.phases
                  if phase.replicas > 1 and phase.lockstep_alignment > 0)
     return groups + len(app.channels)
@@ -203,8 +205,8 @@ def map_multicore(app: AppSpec, num_cores: int = 8,
 
     return MappingPlan(
         app=app, multicore=True, assignments=assignments,
-        section_banks=section_banks, sync_points_used=_sync_points(app),
-        dm_footprint_words=_dm_footprint(app))
+        section_banks=section_banks, sync_points_used=sync_points(app),
+        dm_footprint_words=dm_footprint(app))
 
 
 def map_singlecore(app: AppSpec,
@@ -218,7 +220,7 @@ def map_singlecore(app: AppSpec,
 
     section_banks: dict[str, int] = {}
     bank_fill = [app.runtime_words] + [0] * (geom.banks - 1)
-    for section in _distinct_sections(app):
+    for section in distinct_sections(app):
         for bank, fill in enumerate(bank_fill):
             if fill + section.words <= geom.words_per_bank:
                 bank_fill[bank] = fill + section.words
@@ -231,7 +233,7 @@ def map_singlecore(app: AppSpec,
     return MappingPlan(
         app=app, multicore=False, assignments=assignments,
         section_banks=section_banks, sync_points_used=0,
-        dm_footprint_words=_dm_footprint(app))
+        dm_footprint_words=dm_footprint(app))
 
 
 def phase_streaming_load_mhz(phase: PhaseSpec, fs: float,

@@ -8,6 +8,7 @@ Usage::
     python -m repro.eval ablations
     python -m repro.eval net [--scenario S] [--nodes N] [--workers W]
     python -m repro.eval sweep [--spec NAME | --spec-file F] [--workers W]
+    python -m repro.eval gen [--seed S] [--count N] [--policies P ...]
     python -m repro.eval all
 
 Every experiment is its own subcommand with its own flags; ``sweep``
@@ -20,6 +21,8 @@ from __future__ import annotations
 import argparse
 import json
 
+from ..gen.policies import POLICIES
+from ..gen.topology import FAMILY_ORDER
 from ..net.fleet import DEFAULT_SEED
 from ..net.scenarios import SCENARIOS
 from ..net.timesync import PROTOCOLS
@@ -35,11 +38,20 @@ from ..sweep import (
 from .ablations import run_all_ablations
 from .fig6 import run_fig6
 from .fig7 import run_fig7
+from .genexp import (
+    GEN_COUNT,
+    GEN_DURATION_S,
+    GEN_POLICIES,
+    GEN_SEED,
+    run_gen,
+    write_gen_json,
+)
 from .netexp import NET_DURATION_S, run_net
 from .report import (
     render_ablations,
     render_fig6,
     render_fig7,
+    render_gen,
     render_net,
     render_sweep,
     render_table1,
@@ -148,6 +160,32 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--list", action="store_true",
         help="list built-in campaigns and exit")
+
+    gen = commands.add_parser(
+        "gen", help="explore generated synthetic workloads")
+    gen.add_argument(
+        "--seed", type=int, default=GEN_SEED,
+        help=f"suite seed (default: {GEN_SEED})")
+    gen.add_argument(
+        "--count", type=_positive_int, default=GEN_COUNT,
+        help=f"generated applications (default: {GEN_COUNT})")
+    gen.add_argument(
+        "--families", nargs="+", choices=list(FAMILY_ORDER),
+        default=None, metavar="FAMILY",
+        help="topology families to cycle through "
+             f"(default: all of {', '.join(FAMILY_ORDER)})")
+    gen.add_argument(
+        "--policies", nargs="+", choices=sorted(POLICIES),
+        default=list(GEN_POLICIES), metavar="POLICY",
+        help="mapping policies to compare "
+             f"(default: {' '.join(GEN_POLICIES)})")
+    gen.add_argument(
+        "--cores", type=_positive_int, default=8,
+        help="provisioned platform width (default: 8)")
+    _add_duration(gen, f"{GEN_DURATION_S:g} s")
+    gen.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the deterministic exploration artifact here")
     return parser
 
 
@@ -181,6 +219,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if experiment == "sweep":
         print(_run_sweep_command(args))
+        return 0
+
+    if experiment == "gen":
+        report = run_gen(
+            seed=args.seed,
+            count=args.count,
+            families=tuple(args.families) if args.families else None,
+            policies=tuple(args.policies),
+            num_cores=args.cores,
+            duration_s=args.duration if args.duration is not None
+            else GEN_DURATION_S)
+        if args.json is not None:
+            write_gen_json(report, args.json)
+        print(render_gen(report))
         return 0
 
     duration = getattr(args, "duration", None)

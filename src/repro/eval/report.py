@@ -14,6 +14,7 @@ from ..power.energy import CATEGORIES
 from .ablations import AblationResult
 from .fig6 import Fig6Group
 from .fig7 import Fig7Point
+from .genexp import GenReport
 from .netexp import NetReport
 from .table1 import PAPER_TABLE1, Table1Column
 
@@ -26,6 +27,7 @@ __all__ = [
     "render_ablations",
     "render_fig6",
     "render_fig7",
+    "render_gen",
     "render_net",
     "render_sweep",
     "render_table1",
@@ -266,6 +268,59 @@ def render_sweep(result: "SweepResult", max_rows: int = 48) -> str:
         f"  throughput: {result.sim_s_per_s:.1f} simulated-s/s "
         f"({result.simulated_s:g} sim-s in {result.elapsed_s:.2f} s)"
     )
+    return "\n".join(lines)
+
+
+#: Fixed column layout of the generated-workload table: (header,
+#: width, record attribute, format kind for :func:`_fmt`).  Golden
+#: tests pin this set; extend deliberately.
+_GEN_COLUMNS: tuple[tuple[str, int, str, str], ...] = (
+    ("app", 18, "app", "str"),
+    ("family", 12, "family", "str"),
+    ("policy", 14, "policy", "str"),
+    ("status", 9, "status", "str"),
+    ("clock", 7, "clock_mhz", "f2"),
+    ("V", 6, "voltage", "f2"),
+    ("duty", 6, "duty_cycle", "f2"),
+    ("power", 8, "power_uw", "f1"),
+    ("sync%", 7, "sync_overhead", "pct"),
+    ("banks", 6, "im_banks", "int"),
+)
+
+
+def render_gen(report: GenReport) -> str:
+    """Render a generated-workload exploration as a fixed table."""
+    lines = [
+        f"Generated workloads: seed {report.seed}, "
+        f"{report.count} app(s) x {len(report.policies)} policy(ies), "
+        f"{report.num_cores} cores, {report.duration_s:g} s"
+    ]
+    header = "  " + "".join(
+        title.ljust(width) if kind == "str" else title.rjust(width)
+        for title, width, _, kind in _GEN_COLUMNS)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for record in report.records:
+        cells = []
+        for _, width, attr, kind in _GEN_COLUMNS:
+            value = getattr(record, attr)
+            if kind == "str":
+                cells.append(str(value).ljust(width))
+            elif record.status == "rejected":
+                cells.append("-".rjust(width))
+            else:
+                cells.append(_fmt(value, kind).rjust(width))
+        lines.append("  " + "".join(cells).rstrip())
+    counts = report.counts()
+    lines.append(
+        f"  placements: {counts['ok']} ok, "
+        f"{counts['repaired']} repaired, {counts['rejected']} rejected")
+    powered = [record.power_uw for record in report.records
+               if record.status != "rejected"]
+    if powered:
+        lines.append(
+            f"  power across placed points: {min(powered):.1f}-"
+            f"{max(powered):.1f} uW")
     return "\n".join(lines)
 
 

@@ -1,0 +1,150 @@
+"""Workload distributions anchored to the platform characterisation.
+
+Every sampled quantity is drawn from a range bracketing what the
+paper's three hand-calibrated applications and the cycle-level kernel
+characterisation (:mod:`repro.kernels.characterize`) actually measure,
+so generated applications are *physically plausible* points of the
+same space — not arbitrary numbers:
+
+* per-phase cycle intensities bracket the calibrated budgets of
+  :mod:`repro.apps.benchmarks` (``COMBINE_CYCLES`` .. a bit above
+  ``CLASSIFY_HALF_CYCLES``), and whole-app streaming totals stay in
+  the 0.6-3.6 MHz band Table I's "Min. Clock" row spans at 250 Hz;
+* data-memory access rates bracket the measured 0.25 (filter) to 0.52
+  (NN search) accesses/cycle;
+* sync-instruction rates follow the calibrated per-phase overheads
+  (50/3067 ~ 1.6 % down to 4/1400 ~ 0.3 % of executed cycles);
+* lock-step alignment spans the characterised 0.20 (branchy NN) to
+  0.92 (synchronizer-started chain) band;
+* code-section and data footprints bracket the Fig. 5 linker sizes.
+
+All draws go through one :class:`random.Random` stream in a fixed
+order; nothing here touches ``hash()``, sets, or any other source of
+process-dependent ordering, which is what makes generated apps
+byte-identical across processes (see ``tests/gen/test_determinism``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..apps.benchmarks import (
+    CLASSIFY_HALF_CYCLES,
+    COMBINE_CYCLES,
+    MF_CYCLES,
+)
+from ..apps.phases import SectionSpec
+
+#: Per-phase cycles/sample band (brackets the calibrated budgets:
+#: 1400 combine .. 3966 classify-half, widened ~40 % each way).
+PHASE_CYCLES_RANGE = (0.6 * COMBINE_CYCLES, 1.4 * CLASSIFY_HALF_CYCLES)
+
+#: Whole-app streaming cycles/sample band (all replicas summed).  At
+#: 250 Hz this is 0.6-3.6 MHz of single-core clock — the band Table I
+#: spans (2.3-3.4 MHz) with headroom below for sparse apps.
+APP_CYCLES_RANGE = (2_400.0, 14_400.0)
+
+#: Data-memory accesses per executed cycle (measured 0.25-0.52).
+DM_RATE_RANGE = (0.20, 0.55)
+
+#: Sync instructions executed per executed cycle (calibrated
+#: 0.3 %-1.6 %, widened to 0.2 %-2 %).
+SYNC_RATE_RANGE = (0.002, 0.020)
+
+#: Inserted sync instructions per phase (Table I rows use 6-92 words).
+SYNC_CODE_RANGE = (6, 96)
+
+#: Lock-step alignment of replica groups (characterised 0.20-0.92).
+ALIGNMENT_RANGE = (0.20, 0.92)
+
+#: Fraction of reads hitting shared constants (measured 0.085-0.126).
+SHARED_READ_RANGE = (0.06, 0.14)
+
+#: Code-section sizes in 24-bit words (Fig. 5 sections are 1800-3200).
+SECTION_WORDS_RANGE = (600, 3_400)
+
+#: Head-phase section size: the paper's apps start with a single
+#: conditioning section that shares IM bank 0 with the runtime, so
+#: head sections stay below bank capacity minus the runtime.
+HEAD_SECTION_WORDS_RANGE = (600, 3_600)
+
+#: Per-replica data footprint in 16-bit words (400 .. 7500 in Fig. 5).
+DM_WORDS_RANGE = (300, 7_500)
+
+#: Reference anchor re-exported for reports/tests.
+ANCHOR_MF_CYCLES = MF_CYCLES
+
+
+def sample_phase_cycles(rng: random.Random) -> float:
+    """Raw per-phase cycle intensity (later rescaled to the app band)."""
+    low, high = PHASE_CYCLES_RANGE
+    return rng.uniform(low, high)
+
+
+def sample_app_cycle_budget(rng: random.Random) -> float:
+    """Whole-app streaming cycles/sample target (all replicas)."""
+    low, high = APP_CYCLES_RANGE
+    return rng.uniform(low, high)
+
+
+def sample_dm_rate(rng: random.Random) -> float:
+    """Data-memory accesses per executed cycle."""
+    low, high = DM_RATE_RANGE
+    return round(rng.uniform(low, high), 3)
+
+
+def sample_sync_rate(rng: random.Random) -> float:
+    """Executed sync instructions as a fraction of phase cycles."""
+    low, high = SYNC_RATE_RANGE
+    return rng.uniform(low, high)
+
+
+def sample_sync_code_words(rng: random.Random) -> int:
+    """Inserted sync instructions of one phase's code."""
+    low, high = SYNC_CODE_RANGE
+    return rng.randint(low, high)
+
+
+def sample_alignment(rng: random.Random) -> float:
+    """Lock-step alignment of a replica group."""
+    low, high = ALIGNMENT_RANGE
+    return round(rng.uniform(low, high), 3)
+
+
+def sample_shared_reads(rng: random.Random) -> float:
+    """Fraction of data reads targeting shared constants."""
+    low, high = SHARED_READ_RANGE
+    return round(rng.uniform(low, high), 3)
+
+
+def sample_dm_words(rng: random.Random) -> int:
+    """Per-replica data-memory footprint in words."""
+    low, high = DM_WORDS_RANGE
+    return rng.randint(low, high)
+
+
+def sample_sections(rng: random.Random, stage: str, budget: int,
+                    head: bool = False) -> tuple[SectionSpec, ...]:
+    """Code sections of one phase.
+
+    Args:
+        rng: the app's draw stream.
+        stage: stage name (section names derive from it).
+        budget: maximum number of sections this phase may declare
+            (the generator keeps whole-app section counts within the
+            IM bank budget of the paper's mapping policy).
+        head: first phase of the application — a single section sized
+            to co-reside with the runtime in IM bank 0, like every
+            paper benchmark's conditioning filter.
+    """
+    if head:
+        low, high = HEAD_SECTION_WORDS_RANGE
+        return (SectionSpec(name=f"{stage}_s0",
+                            words=rng.randint(low, high)),)
+    count = rng.randint(1, max(1, min(3, budget)))
+    low, high = SECTION_WORDS_RANGE
+    return tuple(
+        SectionSpec(name=f"{stage}_s{index}",
+                    words=rng.randint(low, high))
+        for index in range(count)
+    )

@@ -1,0 +1,214 @@
+"""Mapping-policy explorer: generated apps x policies -> metrics.
+
+:func:`evaluate_app` runs one ``(application, policy, cores)`` point
+through the behavioural simulator and distils the figures of merit the
+paper's methodology optimises: the VFS clock floor, the duty cycle of
+the provisioned cores, average power, and the synchronization
+overheads.  Applications the policy cannot place are *repaired* when
+the failure is a core shortage (replica groups are trimmed, largest
+first — the same concession a developer would make porting a wide app
+to a narrow platform) and *rejected* when code genuinely does not fit
+the instruction memory.
+
+Everything is a pure function of ``(app identity, policy, cores,
+duration)``; records therefore cache cleanly under the sweep engine
+and reproduce byte-identically across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..apps.mapping import MappingError
+from ..apps.phases import AppSpec, Trigger
+from ..sysc.engine import Mode, simulate, uniform_schedule
+from .generator import app_from_token, parse_app_token
+from .policies import POLICIES, get_policy
+
+#: Default simulated seconds per exploration point (sample-granular
+#: behavioural simulation: ~1250 ticks at 250 Hz).
+EXPLORE_DURATION_S = 5.0
+
+#: Pathological-beat ratio driving ON_ABNORMAL phases of generated
+#: apps (the paper's Table I setting for RP-CLASS).
+EXPLORE_ABNORMAL_RATIO = 0.20
+
+#: Placement outcomes.
+STATUS_OK = "ok"
+STATUS_REPAIRED = "repaired"
+STATUS_REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class ExplorationRecord:
+    """Outcome of one (application, policy, cores) point.
+
+    Attributes:
+        app: application name.
+        token: regeneration token (empty for literal apps).
+        family: topology family (empty for literal apps).
+        policy: mapping policy applied.
+        num_cores: provisioned platform width.
+        status: ``ok`` / ``repaired`` / ``rejected``.
+        repairs: replicas trimmed to fit the platform.
+        error: placement error text (rejected points only).
+        required_mhz: clock requirement before the platform floor.
+        clock_mhz: chosen VFS clock (0 when rejected).
+        voltage: chosen supply voltage (0 when rejected).
+        power_uw: average power (0 when rejected).
+        duty_cycle: executed cycles / provisioned core cycles.
+        sync_overhead: executed sync ops / executed cycles.
+        code_overhead: inserted sync words / total code words.
+        active_cores: cores the placement occupies.
+        im_banks: IM banks holding code.
+        simulated_s: simulated seconds this point covered (0 when
+            rejected).
+    """
+
+    app: str
+    token: str
+    family: str
+    policy: str
+    num_cores: int
+    status: str
+    repairs: int = 0
+    error: str = ""
+    required_mhz: float = 0.0
+    clock_mhz: float = 0.0
+    voltage: float = 0.0
+    power_uw: float = 0.0
+    duty_cycle: float = 0.0
+    sync_overhead: float = 0.0
+    code_overhead: float = 0.0
+    active_cores: int = 0
+    im_banks: int = 0
+    simulated_s: float = 0.0
+
+
+def repair_app(app: AppSpec, num_cores: int) -> tuple[AppSpec, int]:
+    """Trim replica groups until one core per replica fits.
+
+    Replicas are removed from the widest group first (ties: earliest
+    phase), one at a time — deterministic, and minimal in the number
+    of replicas lost.  Returns the (possibly unchanged) app and the
+    number of replicas trimmed.
+    """
+    phases = list(app.phases)
+    trimmed = 0
+    while sum(phase.replicas for phase in phases) > num_cores:
+        widest = max(range(len(phases)),
+                     key=lambda index: (phases[index].replicas, -index))
+        if phases[widest].replicas <= 1:
+            break  # every group already minimal: nothing left to trim
+        phases[widest] = replace(phases[widest],
+                                 replicas=phases[widest].replicas - 1)
+        trimmed += 1
+    if trimmed == 0:
+        return app, 0
+    repaired = AppSpec(
+        name=app.name,
+        fs=app.fs,
+        phases=phases,
+        channels=list(app.channels),
+        runtime_words=app.runtime_words,
+        beat_span_samples=app.beat_span_samples,
+        description=app.description,
+    )
+    repaired.validate()
+    return repaired, trimmed
+
+
+def evaluate_app(app: AppSpec, policy_name: str, num_cores: int = 8,
+                 duration_s: float = EXPLORE_DURATION_S,
+                 token: str = "", family: str = "") -> ExplorationRecord:
+    """Run one application through one policy and summarise it.
+
+    Raises:
+        ValueError: unknown policy name.
+    """
+    policy = get_policy(policy_name)
+    repairs = 0
+    candidate = app
+    if policy.multicore:
+        candidate, repairs = repair_app(app, num_cores)
+    base = dict(app=app.name, token=token, family=family,
+                policy=policy_name, num_cores=num_cores)
+    try:
+        plan = policy.map(candidate, num_cores)
+    except MappingError as exc:
+        return ExplorationRecord(
+            **base, status=STATUS_REJECTED, repairs=repairs,
+            error=str(exc))
+    mode = Mode.MULTI_CORE if policy.multicore else Mode.SINGLE_CORE
+    has_triggered = any(phase.trigger is Trigger.ON_ABNORMAL
+                        for phase in candidate.phases)
+    ratio = EXPLORE_ABNORMAL_RATIO if has_triggered else 0.0
+    schedule = uniform_schedule(duration_s, candidate.fs,
+                                abnormal_ratio=ratio)
+    result = simulate(candidate, mode, schedule, duration_s=duration_s,
+                      num_cores=num_cores, mapping=plan)
+    activity = result.activity
+    provisioned = activity.cycles * activity.cores_on
+    return ExplorationRecord(
+        **base,
+        status=STATUS_REPAIRED if repairs else STATUS_OK,
+        repairs=repairs,
+        required_mhz=result.required_mhz,
+        clock_mhz=result.operating_point.frequency_mhz,
+        voltage=result.operating_point.voltage,
+        power_uw=result.power.total_uw,
+        duty_cycle=activity.core_active_cycles / provisioned
+        if provisioned > 0 else 0.0,
+        sync_overhead=result.runtime_overhead,
+        code_overhead=result.code_overhead,
+        active_cores=plan.active_cores,
+        im_banks=len(plan.im_banks_used),
+        simulated_s=duration_s,
+    )
+
+
+def evaluate_token(token: str, policy_name: str, num_cores: int = 8,
+                   duration_s: float = EXPLORE_DURATION_S
+                   ) -> ExplorationRecord:
+    """Regenerate an app from its token and evaluate it.
+
+    Raises:
+        ValueError: malformed token or unknown policy.
+    """
+    family, _, _ = parse_app_token(token)
+    app = app_from_token(token)
+    return evaluate_app(app, policy_name, num_cores=num_cores,
+                        duration_s=duration_s, token=token, family=family)
+
+
+def explore(tokens: list[str],
+            policies: tuple[str, ...] = ("paper", "balanced"),
+            num_cores: int = 8,
+            duration_s: float = EXPLORE_DURATION_S
+            ) -> list[ExplorationRecord]:
+    """Evaluate every (token, policy) pair, app-major order.
+
+    Raises:
+        ValueError: unknown policy or malformed token.
+    """
+    for name in policies:
+        get_policy(name)  # fail fast before any simulation
+    return [evaluate_token(token, name, num_cores=num_cores,
+                           duration_s=duration_s)
+            for token in tokens
+            for name in policies]
+
+
+__all__ = [
+    "EXPLORE_ABNORMAL_RATIO",
+    "EXPLORE_DURATION_S",
+    "ExplorationRecord",
+    "POLICIES",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_REPAIRED",
+    "evaluate_app",
+    "evaluate_token",
+    "explore",
+    "repair_app",
+]

@@ -1,0 +1,187 @@
+"""Topology families of the synthetic workload generator.
+
+A topology is the *structural* half of a generated application: stages
+(future :class:`~repro.apps.phases.PhaseSpec` instances) with replica
+counts, trigger classes and producer-consumer edges.  The families
+generalise the shapes of the paper's three benchmarks and of the wider
+multi-core sync literature:
+
+* ``pipeline`` — a linear chain of distinct stages (3L-MMD's
+  filter -> combine -> delineate generalised to 2-4 stages, with an
+  optionally replicated head);
+* ``fork-join`` — a replicated worker stage feeding an aggregator,
+  optionally followed by a tail stage (3L-MMD / classic fork-join);
+* ``fan-in`` — several *distinct* producer stages all feeding one
+  aggregator through a single multi-producer channel (heterogeneous
+  sensor fusion, Baumgartner et al.'s simultaneous-event pattern);
+* ``independent`` — one stage replicated with no channels at all:
+  pure lock-step replicas, as in 3L-MF;
+* ``random-dag`` — a layered random DAG: every stage in layer *k*
+  consumes from one or two earlier stages (the adversarial family;
+  shapes here exercise the mapper's rejection/repair path).
+
+All random draws flow through the caller's :class:`random.Random`
+stream in declaration order — no sets, no ``hash()`` — so topologies
+are bit-reproducible across processes.
+
+A suffix of a topology may be *triggered* (``on_abnormal``): those
+stages activate per pathological beat, like RP-CLASS's delineation
+chain.  Stage 0 is always streaming so every generated application
+has a real-time clock requirement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One structural stage of a generated application.
+
+    Attributes:
+        name: stage name (unique within the topology).
+        replicas: parallel instances (a lock-step group when > 1).
+        inputs: indices of the stages this stage consumes from
+            (empty for source stages).
+        on_abnormal: activated per pathological beat instead of
+            streaming.
+    """
+
+    name: str
+    replicas: int
+    inputs: tuple[int, ...] = ()
+    on_abnormal: bool = False
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A generated application's structure: stages + edges."""
+
+    family: str
+    stages: tuple[StageSpec, ...]
+
+    @property
+    def total_replicas(self) -> int:
+        """Cores a one-core-per-replica mapping needs."""
+        return sum(stage.replicas for stage in self.stages)
+
+
+def _pipeline(rng: random.Random) -> Topology:
+    depth = rng.randint(2, 4)
+    head_replicas = rng.randint(1, 3)
+    triggered_tail = depth >= 3 and rng.random() < 0.25
+    stages = [StageSpec(name="stage0", replicas=head_replicas)]
+    for index in range(1, depth):
+        stages.append(StageSpec(
+            name=f"stage{index}",
+            replicas=1,
+            inputs=(index - 1,),
+            on_abnormal=triggered_tail and index == depth - 1,
+        ))
+    return Topology(family="pipeline", stages=tuple(stages))
+
+
+def _fork_join(rng: random.Random) -> Topology:
+    workers = rng.randint(2, 4)
+    with_tail = rng.random() < 0.5
+    stages = [
+        StageSpec(name="worker", replicas=workers),
+        StageSpec(name="join", replicas=1, inputs=(0,)),
+    ]
+    if with_tail:
+        stages.append(StageSpec(
+            name="tail", replicas=1, inputs=(1,),
+            on_abnormal=rng.random() < 0.3))
+    return Topology(family="fork-join", stages=tuple(stages))
+
+
+def _fan_in(rng: random.Random) -> Topology:
+    producers = rng.randint(2, 3)
+    stages = [StageSpec(name=f"source{index}", replicas=1)
+              for index in range(producers)]
+    stages.append(StageSpec(
+        name="fuse", replicas=1, inputs=tuple(range(producers))))
+    return Topology(family="fan-in", stages=tuple(stages))
+
+
+def _independent(rng: random.Random) -> Topology:
+    replicas = rng.randint(2, 4)
+    return Topology(
+        family="independent",
+        stages=(StageSpec(name="replica", replicas=replicas),),
+    )
+
+
+def _random_dag(rng: random.Random) -> Topology:
+    layers = rng.randint(2, 4)
+    stages: list[StageSpec] = []
+    layer_members: list[list[int]] = []
+    for layer in range(layers):
+        width = rng.randint(1, 2)
+        members: list[int] = []
+        for slot in range(width):
+            if layer == 0:
+                inputs: tuple[int, ...] = ()
+                # Up to 3 replicas per source: wide draws overflow an
+                # 8-core platform and exercise the repair path.
+                replicas = rng.randint(1, 3)
+            else:
+                upstream = [index
+                            for earlier in layer_members
+                            for index in earlier]
+                fan = min(len(upstream), rng.randint(1, 2))
+                # Deterministic draw order: sample positions, then sort.
+                picks = sorted(rng.sample(range(len(upstream)), fan))
+                inputs = tuple(upstream[pick] for pick in picks)
+                replicas = 1
+            stages.append(StageSpec(
+                name=f"n{layer}_{slot}",
+                replicas=replicas,
+                inputs=inputs,
+                on_abnormal=layer == layers - 1 and rng.random() < 0.2,
+            ))
+            members.append(len(stages) - 1)
+        layer_members.append(members)
+    return Topology(family="random-dag", stages=tuple(stages))
+
+
+#: Family registry, in the fixed order suites cycle through.
+FAMILY_ORDER: tuple[str, ...] = (
+    "pipeline",
+    "fork-join",
+    "fan-in",
+    "independent",
+    "random-dag",
+)
+
+FAMILIES = {
+    "pipeline": _pipeline,
+    "fork-join": _fork_join,
+    "fan-in": _fan_in,
+    "independent": _independent,
+    "random-dag": _random_dag,
+}
+
+
+def require_family(family: str) -> str:
+    """Validate a family name (the single source of the error text).
+
+    Raises:
+        ValueError: unknown family name.
+    """
+    if family not in FAMILIES:
+        raise ValueError(
+            f"unknown topology family {family!r}; choose from "
+            f"{list(FAMILY_ORDER)}")
+    return family
+
+
+def build_topology(family: str, rng: random.Random) -> Topology:
+    """Draw one topology of the requested family.
+
+    Raises:
+        ValueError: unknown family name.
+    """
+    return FAMILIES[require_family(family)](rng)

@@ -42,11 +42,22 @@ def pool_map(
 ) -> list[Result]:
     """Map a picklable top-level function over payloads on a pool.
 
+    Empty payload lists and single-worker calls never touch
+    :mod:`multiprocessing`: fully cached sweeps over generated apps
+    (zero surviving points) and serial runs execute inline, with no
+    pool start-up cost and no pickling requirement.
+
     fork is the cheap path but is only reliably safe on Linux (macOS
     lists it as available, yet forking with numpy/Accelerate loaded
     can crash); elsewhere use the platform default (spawn) — payloads
     must be picklable either way.
     """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    if not payloads:
+        return []
+    if workers == 1:
+        return [fn(payload) for payload in payloads]
     use_fork = (
         sys.platform.startswith("linux")
         and "fork" in multiprocessing.get_all_start_methods()

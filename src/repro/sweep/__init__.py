@@ -31,7 +31,7 @@ from .spec import (
     spec_from_mapping,
     stable_seed,
 )
-from .specs import BENCH_SPECS, SPECS, get_spec
+from .specs import BENCH_SPECS, SPECS, generated_app_axis, get_spec
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -53,6 +53,7 @@ __all__ = [
     "code_fingerprint",
     "default_cache_dir",
     "expand",
+    "generated_app_axis",
     "get_runner",
     "get_spec",
     "merge_bench",

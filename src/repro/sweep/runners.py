@@ -20,6 +20,10 @@ Families:
   running a spin kernel; axes reach core count and cycle budget.
 * ``ablation`` — one mechanism ablation from
   :mod:`repro.eval.ablations`.
+* ``gen`` — one generated application under one mapping policy
+  through :func:`repro.gen.explorer.evaluate_token`; the app rides in
+  the point as its regeneration token (``"family:seed:index"``), so
+  points stay JSON scalars and regeneration is deterministic.
 
 Every metric mapping carries ``simulated_s``: the simulated seconds
 the point covered, the numerator of the benchmark schema's
@@ -38,6 +42,7 @@ from ..eval.ablations import (
     ablate_sleep,
     ablate_vfs,
 )
+from ..gen.explorer import EXPLORE_DURATION_S, evaluate_token
 from ..hw.system import System
 from ..isa import assemble
 from ..net.fleet import run_fleet
@@ -78,6 +83,13 @@ HEADLINE_METRICS: dict[str, tuple[str, ...]] = {
     ),
     "platform": ("cycles", "im_broadcast", "active_cycles"),
     "ablation": ("with_uw", "without_uw", "penalty"),
+    "gen": (
+        "status",
+        "power_uw",
+        "clock_mhz",
+        "duty_cycle",
+        "sync_overhead",
+    ),
 }
 
 
@@ -203,6 +215,42 @@ def run_platform_point(point: dict[str, Value]) -> dict[str, Value]:
     }
 
 
+def run_gen_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Evaluate one generated app under one mapping policy.
+
+    The app never travels inside the point: ``gen_app`` is a
+    regeneration token (``"family:seed:index"``), so the point stays
+    JSON-scalar and the cache key covers the app's full identity.
+    """
+    token = str(_param(point, "gen_app", "pipeline:2014:0"))
+    policy = str(_param(point, "policy", "paper"))
+    num_cores = int(_param(point, "num_cores", 8))
+    duration_s = float(_param(point, "duration_s", EXPLORE_DURATION_S))
+    try:
+        record = evaluate_token(
+            token, policy, num_cores=num_cores, duration_s=duration_s
+        )
+    except ValueError as exc:
+        raise RunnerError(str(exc)) from None
+    return {
+        "simulated_s": record.simulated_s,
+        "app": record.app,
+        "family": record.family,
+        "status": record.status,
+        "repairs": record.repairs,
+        "error": record.error,
+        "required_mhz": record.required_mhz,
+        "clock_mhz": record.clock_mhz,
+        "voltage": record.voltage,
+        "power_uw": record.power_uw,
+        "duty_cycle": record.duty_cycle,
+        "sync_overhead": record.sync_overhead,
+        "code_overhead": record.code_overhead,
+        "active_cores": record.active_cores,
+        "im_banks": record.im_banks,
+    }
+
+
 #: Ablation registry: name -> (driver, result picker).  ``sleep``
 #: returns one result per benchmark; the picker selects by the
 #: point's ``app`` parameter.
@@ -252,6 +300,7 @@ RUNNERS: dict[str, Callable[[dict], dict]] = {
     "fleet": run_fleet_point,
     "platform": run_platform_point,
     "ablation": run_ablation_point,
+    "gen": run_gen_point,
 }
 
 

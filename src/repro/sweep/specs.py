@@ -13,7 +13,8 @@ benchmark x execution mode x simulated duration, 24 points.
 from __future__ import annotations
 
 from ..eval.runconfig import FIG7_RATIOS
-from .spec import SweepSpec
+from ..gen.generator import suite_tokens
+from .spec import SweepSpec, Value
 
 #: Simulated seconds of the benchmark campaigns (mirrors the
 #: pytest-benchmark harness's reduced duration).
@@ -119,6 +120,32 @@ PLATFORM = SweepSpec(
     base=(("cycles", 20_000),),
 )
 
+
+def generated_app_axis(
+    seed: int,
+    count: int,
+    families: tuple[str, ...] | None = None,
+) -> tuple[str, tuple[Value, ...]]:
+    """A ``gen_app`` sweep axis over one generated suite.
+
+    Each value is a regeneration token (``"family:seed:index"``), so
+    the axis is plain JSON scalars: specs carrying it serialise,
+    cache and shard exactly like every other campaign.
+    """
+    return ("gen_app", tuple(suite_tokens(seed, count, families)))
+
+
+GEN = SweepSpec(
+    name="gen",
+    runner="gen",
+    description="generated synthetic workloads x mapping policy",
+    axes=(
+        generated_app_axis(seed=2014, count=6),
+        ("policy", ("paper", "balanced", "critical-path")),
+    ),
+    base=(("duration_s", 5.0), ("num_cores", 8)),
+)
+
 #: All built-in campaigns, keyed by name.
 SPECS: dict[str, SweepSpec] = {
     spec.name: spec
@@ -132,13 +159,14 @@ SPECS: dict[str, SweepSpec] = {
         ABLATIONS,
         FLEET,
         PLATFORM,
+        GEN,
     )
 }
 
 #: The campaigns the benchmark harness emits BENCH artifacts for.
 BENCH_SPECS: dict[str, SweepSpec] = {
     spec.name: spec
-    for spec in (TABLE1, FIG6, FIG7, ABLATIONS, FLEET, PLATFORM)
+    for spec in (TABLE1, FIG6, FIG7, ABLATIONS, FLEET, PLATFORM, GEN)
 }
 
 

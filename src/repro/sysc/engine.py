@@ -189,7 +189,8 @@ def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
              duration_s: float = 60.0, num_cores: int = 8,
              energy: EnergyParams = DEFAULT_ENERGY,
              process: ProcessModel = DEFAULT_PROCESS,
-             floor_mhz: float = MIN_SYSTEM_CLOCK_MHZ) -> SimulationResult:
+             floor_mhz: float = MIN_SYSTEM_CLOCK_MHZ,
+             mapping: MappingPlan | None = None) -> SimulationResult:
     """Simulate one application in one configuration.
 
     Args:
@@ -203,11 +204,23 @@ def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
         floor_mhz: minimum system clock the VFS planner may choose
             (the paper's platform floor is 1 MHz; sweeps raise it to
             probe VFS sensitivity).
+        mapping: a precomputed mapping plan for ``app`` (the policy
+            explorer evaluates alternative placements this way); the
+            paper's default placement is derived when omitted.
+
+    Raises:
+        ValueError: ``mapping`` targets the wrong platform kind for
+            ``mode``.
     """
     app.validate()
     multicore = mode is not Mode.SINGLE_CORE
-    mapping = map_multicore(app, num_cores) if multicore \
-        else map_singlecore(app)
+    if mapping is None:
+        mapping = map_multicore(app, num_cores) if multicore \
+            else map_singlecore(app)
+    elif mapping.multicore != multicore:
+        raise ValueError(
+            f"mapping is {'multi' if mapping.multicore else 'single'}"
+            f"-core but mode is {mode.value}")
     required = _required_clock_mhz(app, mode, schedule, duration_s)
     point = plan_operating_point(required, process=process,
                                  single_core=not multicore,

@@ -91,3 +91,38 @@ def test_cli_sweep_builtin_demo_is_24_points():
 def test_cli_sweep_rejects_unknown_spec():
     with pytest.raises(SystemExit):
         main(["sweep", "--spec", "nonsense"])
+
+
+def test_cli_gen_runs_suite_through_policies(capsys, tmp_path):
+    json_path = tmp_path / "gen.json"
+    assert main(["gen", "--seed", "7", "--count", "5",
+                 "--duration", "1", "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Generated workloads: seed 7, 5 app(s) x 3 policy(ies)" in out
+    assert "placements:" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["schema"] == "repro-gen/1"
+    assert payload["count"] == 5
+    assert len(payload["records"]) == 15  # 5 apps x 3 policies
+    assert len(payload["apps"]) == 5
+    statuses = {record["status"] for record in payload["records"]}
+    assert statuses <= {"ok", "repaired", "rejected"}
+
+
+def test_cli_gen_policy_and_family_selection(capsys):
+    assert main(["gen", "--seed", "3", "--count", "2", "--duration", "1",
+                 "--families", "pipeline", "--policies", "paper",
+                 "single-core"]) == 0
+    out = capsys.readouterr().out
+    assert "2 app(s) x 2 policy(ies)" in out
+    assert "single-core" in out
+
+
+def test_cli_gen_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        main(["gen", "--policies", "nonsense"])
+
+
+def test_cli_sweep_gen_spec_listed(capsys):
+    assert main(["sweep", "--list"]) == 0
+    assert "gen" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Golden-output tests for the report renderers.
+
+``render_sweep``, ``render_net`` and ``render_gen`` feed CI logs and
+the README examples; these tests pin their column sets and formatting
+byte-for-byte on hand-built, fully deterministic inputs, so layout
+drift is a deliberate diff, never an accident.
+"""
+
+from textwrap import dedent
+
+from repro.eval.genexp import GenReport
+from repro.eval.netexp import NetReport
+from repro.eval.report import render_gen, render_net, render_sweep
+from repro.gen.explorer import ExplorationRecord
+from repro.net.fleet import FleetResult
+from repro.net.stats import FleetSummary, SyncError
+from repro.sweep.engine import PointResult, SweepResult
+from repro.sweep.spec import SweepSpec
+
+
+def _sweep_fixture() -> SweepResult:
+    spec = SweepSpec(
+        name="golden",
+        runner="app",
+        description="golden fixture",
+        axes=(
+            ("app", ("3L-MF",)),
+            ("mode", ("single-core", "multi-core")),
+        ),
+        base=(("duration_s", 1.0),),
+    )
+    points = (
+        {"duration_s": 1.0, "app": "3L-MF", "mode": "single-core"},
+        {"duration_s": 1.0, "app": "3L-MF", "mode": "multi-core"},
+    )
+    metrics = (
+        {"simulated_s": 1.0, "power_uw": 82.51234, "clock_mhz": 2.3,
+         "voltage": 0.6, "runtime_overhead": 0.0},
+        {"simulated_s": 1.0, "power_uw": 60.25, "clock_mhz": 1.0,
+         "voltage": 0.5, "runtime_overhead": 0.0163},
+    )
+    results = tuple(
+        PointResult(index=index, point=point, key=f"k{index}",
+                    metrics=metric, wall_s=0.25, cached=index == 1)
+        for index, (point, metric) in enumerate(zip(points, metrics))
+    )
+    return SweepResult(
+        spec=spec, results=results, elapsed_s=0.5, cache_hits=1,
+        cache_misses=1, workers=1, shards=1, mode="serial",
+        fingerprint="deadbeef")
+
+
+def test_render_sweep_golden():
+    expected = dedent("""\
+        Sweep 'golden' (app runner): 2 point(s), 1 worker(s), serial
+          golden fixture
+            app         mode  power_uw  clock_mhz  voltage  runtime_overhead  wall_s  cached
+          ----------------------------------------------------------------------------------
+          3L-MF  single-core     82.51        2.3      0.6                 0   0.250     run
+          3L-MF   multi-core     60.25          1      0.5            0.0163   0.250     hit
+          cache: 1 hit(s), 1 miss(es) [deadbeef]
+          throughput: 4.0 simulated-s/s (2 sim-s in 0.50 s)""")
+    assert render_sweep(_sweep_fixture()) == expected
+
+
+def _net_fixture() -> NetReport:
+    error = SyncError(count=100, mean_abs_s=0.004, rms_s=0.005,
+                      max_abs_s=0.009)
+    steady = SyncError(count=50, mean_abs_s=0.002, rms_s=0.0025,
+                       max_abs_s=0.004)
+    free = SyncError(count=100, mean_abs_s=0.040, rms_s=0.050,
+                     max_abs_s=0.090)
+    steady_free = SyncError(count=50, mean_abs_s=0.030, rms_s=0.035,
+                            max_abs_s=0.060)
+    summary = FleetSummary(
+        scenario="dense-ward", protocol="ftsp", n_nodes=4,
+        duration_s=5.0, total_power_uw=400.0, mean_power_uw=100.0,
+        mean_radio_uw=2.5, sync=error, steady_sync=steady,
+        unsync=free, steady_unsync=steady_free, beacons_sent=10,
+        beacons_heard=30, power_loss_resets=1)
+    result = FleetResult(
+        summary=summary, nodes=(), elapsed_s=2.0,
+        nodes_per_second=2.0, workers=1, shards=1, mode="serial")
+    return NetReport(scenario="dense-ward", result=result)
+
+
+def test_render_net_golden():
+    expected = dedent("""\
+        Network: dense-ward (4 nodes, 5 s, 1 worker(s), serial)
+          Metric                       no sync        ftsp
+          ----------------------------------------------
+          Mean node power (uW)           100.0       100.0
+          Radio power (uW)                2.50        2.50
+          Beacons sent                      10          10
+          Beacons heard                     30          30
+          Power-loss resets                  1           1
+          Sync err mean (ms)             40.00        4.00
+          Sync err RMS (ms)              50.00        5.00
+          Steady err mean (ms)           30.00        2.00
+          Steady err max (ms)            60.00        4.00
+          steady-state error reduced 15.0x by ftsp
+          throughput: 2.0 nodes/s (2.00 s)""")
+    assert render_net(_net_fixture()) == expected
+
+
+def _gen_fixture() -> GenReport:
+    ok = ExplorationRecord(
+        app="G00-pipeline", token="pipeline:7:0", family="pipeline",
+        policy="paper", num_cores=8, status="ok", required_mhz=0.9,
+        clock_mhz=1.0, voltage=0.5, power_uw=41.3456, duty_cycle=0.8,
+        sync_overhead=0.0048, code_overhead=0.012, active_cores=3,
+        im_banks=2, simulated_s=1.0)
+    repaired = ExplorationRecord(
+        app="G01-random-dag", token="random-dag:7:1",
+        family="random-dag", policy="balanced", num_cores=8,
+        status="repaired", repairs=2, required_mhz=1.2,
+        clock_mhz=1.2, voltage=0.55, power_uw=55.0, duty_cycle=0.61,
+        sync_overhead=0.0152, code_overhead=0.02, active_cores=8,
+        im_banks=5, simulated_s=1.0)
+    rejected = ExplorationRecord(
+        app="G02-fan-in", token="fan-in:7:2", family="fan-in",
+        policy="paper", num_cores=8, status="rejected",
+        error="G02-fan-in: out of IM banks at 'fuse_s2'")
+    return GenReport(
+        seed=7, count=3, families=("pipeline", "random-dag", "fan-in"),
+        policies=("paper", "balanced"), num_cores=8, duration_s=1.0,
+        records=(ok, repaired, rejected))
+
+
+def test_render_gen_golden():
+    expected = dedent("""\
+        Generated workloads: seed 7, 3 app(s) x 2 policy(ies), 8 cores, 1 s
+          app               family      policy        status     clock     V  duty   power  sync% banks
+          ---------------------------------------------------------------------------------------------
+          G00-pipeline      pipeline    paper         ok          1.00  0.50  0.80    41.3   0.48     2
+          G01-random-dag    random-dag  balanced      repaired    1.20  0.55  0.61    55.0   1.52     5
+          G02-fan-in        fan-in      paper         rejected       -     -     -       -      -     -
+          placements: 1 ok, 1 repaired, 1 rejected
+          power across placed points: 41.3-55.0 uW""")
+    assert render_gen(_gen_fixture()) == expected

@@ -1,0 +1,125 @@
+"""Tests for the mapping-policy explorer."""
+
+import pytest
+
+from repro.apps.phases import AppSpec, PhaseSpec, SectionSpec
+from repro.gen import (
+    evaluate_app,
+    evaluate_token,
+    explore,
+    generate_app,
+    repair_app,
+    suite_tokens,
+)
+from repro.gen.explorer import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_REPAIRED,
+)
+
+
+def _wide_app(replicas):
+    app = AppSpec(
+        name="WIDE",
+        fs=250.0,
+        phases=[PhaseSpec(
+            name="w",
+            cycles_per_sample=1000.0,
+            dm_access_rate=0.3,
+            sections=(SectionSpec("w0", 1000),),
+            replicas=replicas,
+            lockstep_alignment=0.5,
+        )],
+    )
+    app.validate()
+    return app
+
+
+def test_repair_trims_widest_group_first():
+    app = _wide_app(12)
+    repaired, trimmed = repair_app(app, num_cores=8)
+    assert trimmed == 4
+    assert repaired.phases[0].replicas == 8
+    # Fitting apps pass through untouched (same object).
+    untouched, zero = repair_app(_wide_app(4), num_cores=8)
+    assert zero == 0
+    assert untouched.phases[0].replicas == 4
+
+
+def test_repair_stops_at_minimal_groups():
+    app = AppSpec(
+        name="MANY", fs=250.0,
+        phases=[PhaseSpec(
+            name=f"p{i}", cycles_per_sample=100.0, dm_access_rate=0.3,
+            sections=(SectionSpec(f"s{i}", 500),))
+            for i in range(10)])
+    app.validate()
+    repaired, trimmed = repair_app(app, num_cores=8)
+    assert trimmed == 0  # nothing to trim: all groups are width 1
+
+
+def test_evaluate_reports_repaired_status():
+    record = evaluate_app(_wide_app(12), "paper", num_cores=8,
+                          duration_s=1.0)
+    assert record.status == STATUS_REPAIRED
+    assert record.repairs == 4
+    assert record.active_cores == 8
+    assert record.power_uw > 0
+    assert record.simulated_s == 1.0
+
+
+def test_evaluate_reports_ok_with_figures_of_merit():
+    app = generate_app("fork-join", seed=3, index=1)
+    record = evaluate_app(app, "balanced", duration_s=1.0)
+    assert record.status == STATUS_OK
+    assert record.clock_mhz >= 1.0  # platform floor
+    assert 0.4 <= record.voltage <= 1.2
+    assert 0 < record.duty_cycle <= 1.0
+    assert record.power_uw > 0
+    assert record.sync_overhead >= 0
+    assert record.im_banks >= 1
+
+
+def test_evaluate_rejects_unmappable_and_keeps_error():
+    app = AppSpec(
+        name="FAT", fs=250.0,
+        phases=[PhaseSpec(
+            name=f"p{i}", cycles_per_sample=100.0, dm_access_rate=0.3,
+            sections=(SectionSpec(f"s{i}", 4000),))
+            for i in range(8)])
+    app.validate()
+    record = evaluate_app(app, "balanced", duration_s=1.0)
+    assert record.status == STATUS_REJECTED
+    assert record.error
+    assert record.power_uw == 0.0
+    assert record.simulated_s == 0.0
+
+
+def test_single_core_policy_runs_baseline_mode():
+    app = generate_app("independent", seed=3, index=0)
+    record = evaluate_app(app, "single-core", duration_s=1.0)
+    assert record.status == STATUS_OK
+    assert record.active_cores == 1
+    assert record.sync_overhead == 0.0
+    assert record.duty_cycle > 0.9  # baseline core sized to the load
+
+
+def test_evaluate_token_matches_evaluate_app():
+    token = suite_tokens(5, 1)[0]
+    by_token = evaluate_token(token, "balanced", duration_s=1.0)
+    app = generate_app("pipeline", 5, 0)
+    direct = evaluate_app(app, "balanced", duration_s=1.0,
+                          token=token, family="pipeline")
+    assert by_token == direct
+
+
+def test_explore_is_app_major_and_validates_policies():
+    tokens = suite_tokens(5, 2)
+    records = explore(tokens, policies=("paper", "balanced"),
+                      duration_s=1.0)
+    assert [(r.token, r.policy) for r in records] == [
+        (tokens[0], "paper"), (tokens[0], "balanced"),
+        (tokens[1], "paper"), (tokens[1], "balanced"),
+    ]
+    with pytest.raises(ValueError):
+        explore(tokens, policies=("nope",), duration_s=1.0)

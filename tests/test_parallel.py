@@ -1,0 +1,47 @@
+"""Tests for the shared shard-and-merge multiprocessing helpers."""
+
+import pytest
+
+from repro.parallel import even_shard_size, pool_map, shard
+
+
+def _square(value):
+    return value * value
+
+
+def test_shard_and_even_shard_size():
+    assert shard([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+    assert even_shard_size(10, 3) == 4
+    assert even_shard_size(0, 3) == 1
+    with pytest.raises(ValueError):
+        shard([1], 0)
+
+
+def test_pool_map_short_circuits_empty_payloads():
+    # No pool is spawned: an unpicklable function is fine even with
+    # many workers because the empty list returns before any fork.
+    assert pool_map(lambda x: x, [], workers=8) == []
+
+
+def test_pool_map_single_worker_runs_inline():
+    # The inline path never pickles: closures over local state work,
+    # and side effects land in *this* process.
+    seen = []
+
+    def record(value):
+        seen.append(value)
+        return value + 1
+
+    assert pool_map(record, [1, 2, 3], workers=1) == [2, 3, 4]
+    assert seen == [1, 2, 3]
+
+
+def test_pool_map_parallel_matches_inline():
+    payloads = list(range(7))
+    assert pool_map(_square, payloads, workers=2) == \
+        pool_map(_square, payloads, workers=1)
+
+
+def test_pool_map_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        pool_map(_square, [1], workers=0)
