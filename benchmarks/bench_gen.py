@@ -13,8 +13,6 @@ Run with::
     python benchmarks/bench_gen.py        # emit BENCH_gen.json
 """
 
-import sys
-
 from repro.gen import evaluate_token, generate_suite, suite_tokens
 
 #: Suite size of the generation throughput benchmark.

@@ -245,3 +245,34 @@ def phase_streaming_load_mhz(phase: PhaseSpec, fs: float,
     if with_sync:
         cycles += phase.sync_ops_per_sample
     return cycles * fs / 1e6
+
+
+def plan_required_mhz(plan: MappingPlan, with_sync: bool = True) -> float:
+    """Worst per-core streaming clock requirement of a placement.
+
+    The paper's policies put one phase replica on each core, so the
+    requirement is simply the busiest streaming phase; placements that
+    *coalesce* several phases onto one core (the search subsystem
+    explores these) must clock that core for the **sum** of its
+    streaming loads.  This is the mapping-aware sizing rule the
+    behavioural simulator applies to every multi-core plan.
+
+    Args:
+        plan: a multi-core mapping plan.
+        with_sync: include the executed sync instructions in the load
+            (True for the proposed system, False for the no-sync
+            strawman).
+
+    Returns:
+        The minimum system clock in MHz that keeps every core's
+        streaming work real-time.
+    """
+    loads: dict[int, float] = {}
+    app = plan.app
+    for assignment in plan.assignments:
+        phase = app.phase(assignment.phase)
+        load = phase_streaming_load_mhz(phase, app.fs, with_sync)
+        if load <= 0.0:
+            continue
+        loads[assignment.core] = loads.get(assignment.core, 0.0) + load
+    return max(loads.values()) if loads else 0.0

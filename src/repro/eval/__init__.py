@@ -1,4 +1,6 @@
-"""Experiment drivers (system S21): Table I, Fig. 6, Fig. 7, ablations."""
+"""Experiment drivers (system S21): Table I, Fig. 6, Fig. 7,
+ablations, the network report, the generated-workload exploration and
+the placement-search campaign."""
 
 from .ablations import (
     AblationResult,
@@ -8,6 +10,7 @@ from .ablations import (
     ablate_vfs,
     run_all_ablations,
 )
+from .aggregates import percentile, summary_stats
 from .fig6 import Fig6Group, run_fig6, run_group
 from .fig7 import Fig7Point, run_fig7
 from .netexp import NET_DURATION_S, NetReport, run_net
@@ -17,9 +20,18 @@ from .report import (
     render_ablations,
     render_fig6,
     render_fig7,
+    render_gen,
     render_net,
+    render_search,
     render_sweep,
     render_table1,
+)
+from .searchexp import (
+    SEARCH_SCHEMA,
+    SearchReport,
+    run_search,
+    search_payload,
+    write_search_json,
 )
 from .runconfig import (
     BenchmarkCase,
@@ -42,6 +54,8 @@ __all__ = [
     "NET_DURATION_S",
     "NetReport",
     "PAPER_TABLE1",
+    "SEARCH_SCHEMA",
+    "SearchReport",
     "SyncError",
     "TABLE1_PATHOLOGICAL_RATIO",
     "Table1Column",
@@ -50,10 +64,13 @@ __all__ = [
     "ablate_sleep",
     "ablate_vfs",
     "benchmark_cases",
+    "percentile",
     "render_ablations",
     "render_fig6",
     "render_fig7",
+    "render_gen",
     "render_net",
+    "render_search",
     "render_sweep",
     "render_table1",
     "rp_case",
@@ -63,5 +80,9 @@ __all__ = [
     "run_fig7",
     "run_group",
     "run_net",
+    "run_search",
     "run_table1",
+    "search_payload",
+    "summary_stats",
+    "write_search_json",
 ]

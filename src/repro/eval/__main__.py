@@ -9,6 +9,7 @@ Usage::
     python -m repro.eval net [--scenario S] [--nodes N] [--workers W]
     python -m repro.eval sweep [--spec NAME | --spec-file F] [--workers W]
     python -m repro.eval gen [--seed S] [--count N] [--policies P ...]
+    python -m repro.eval search [--seed S] [--count N] [--algorithm A]
     python -m repro.eval all
 
 Every experiment is its own subcommand with its own flags; ``sweep``
@@ -26,6 +27,7 @@ from ..gen.topology import FAMILY_ORDER
 from ..net.fleet import DEFAULT_SEED
 from ..net.scenarios import SCENARIOS
 from ..net.timesync import PROTOCOLS
+from ..search import ALGORITHMS, ORACLE_KINDS
 from ..sweep import (
     ResultCache,
     SPECS,
@@ -53,8 +55,19 @@ from .report import (
     render_fig7,
     render_gen,
     render_net,
+    render_search,
     render_sweep,
     render_table1,
+)
+from .searchexp import (
+    SEARCH_ALGORITHM,
+    SEARCH_CLI_ITERATIONS,
+    SEARCH_COST,
+    SEARCH_COUNT,
+    SEARCH_DURATION_S,
+    SEARCH_SEED,
+    run_search,
+    write_search_json,
 )
 from .runconfig import DURATION_S
 from .table1 import run_table1
@@ -186,6 +199,38 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the deterministic exploration artifact here")
+
+    search = commands.add_parser(
+        "search", help="search generated apps for better placements")
+    search.add_argument(
+        "--seed", type=int, default=SEARCH_SEED,
+        help=f"suite seed (default: {SEARCH_SEED})")
+    search.add_argument(
+        "--count", type=_positive_int, default=SEARCH_COUNT,
+        help=f"generated applications (default: {SEARCH_COUNT})")
+    search.add_argument(
+        "--families", nargs="+", choices=list(FAMILY_ORDER),
+        default=None, metavar="FAMILY",
+        help="topology families to cycle through "
+             f"(default: all of {', '.join(FAMILY_ORDER)})")
+    search.add_argument(
+        "--algorithm", choices=list(ALGORITHMS),
+        default=SEARCH_ALGORITHM,
+        help=f"search algorithm (default: {SEARCH_ALGORITHM})")
+    search.add_argument(
+        "--cost", choices=list(ORACLE_KINDS), default=SEARCH_COST,
+        help=f"cost oracle to minimise (default: {SEARCH_COST})")
+    search.add_argument(
+        "--iterations", type=_positive_int,
+        default=SEARCH_CLI_ITERATIONS,
+        help=f"proposals per app (default: {SEARCH_CLI_ITERATIONS})")
+    search.add_argument(
+        "--cores", type=_positive_int, default=8,
+        help="provisioned platform width (default: 8)")
+    _add_duration(search, f"{SEARCH_DURATION_S:g} s per oracle call")
+    search.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the deterministic repro-search/1 artifact here")
     return parser
 
 
@@ -233,6 +278,22 @@ def main(argv: list[str] | None = None) -> int:
         if args.json is not None:
             write_gen_json(report, args.json)
         print(render_gen(report))
+        return 0
+
+    if experiment == "search":
+        report = run_search(
+            seed=args.seed,
+            count=args.count,
+            families=tuple(args.families) if args.families else None,
+            algorithm=args.algorithm,
+            cost=args.cost,
+            iterations=args.iterations,
+            num_cores=args.cores,
+            duration_s=args.duration if args.duration is not None
+            else SEARCH_DURATION_S)
+        if args.json is not None:
+            write_search_json(report, args.json)
+        print(render_search(report))
         return 0
 
     duration = getattr(args, "duration", None)

@@ -12,10 +12,12 @@ from typing import TYPE_CHECKING
 from ..net.stats import FleetSummary, SyncError
 from ..power.energy import CATEGORIES
 from .ablations import AblationResult
+from .aggregates import summary_stats
 from .fig6 import Fig6Group
 from .fig7 import Fig7Point
 from .genexp import GenReport
 from .netexp import NetReport
+from .searchexp import SearchReport
 from .table1 import PAPER_TABLE1, Table1Column
 
 if TYPE_CHECKING:  # imported lazily inside render_sweep (no cycle)
@@ -29,6 +31,7 @@ __all__ = [
     "render_fig7",
     "render_gen",
     "render_net",
+    "render_search",
     "render_sweep",
     "render_table1",
 ]
@@ -288,8 +291,36 @@ _GEN_COLUMNS: tuple[tuple[str, int, str, str], ...] = (
 )
 
 
-def render_gen(report: GenReport) -> str:
-    """Render a generated-workload exploration as a fixed table."""
+def _policy_power_summary(report: GenReport) -> list[str]:
+    """Per-policy power percentiles (population-scale aggregate)."""
+    lines = ["  per-policy power (uW), placed points:"]
+    for policy in report.policies:
+        rows = [record for record in report.records
+                if record.policy == policy]
+        placed = [record.power_uw for record in rows
+                  if record.status != "rejected"]
+        rejected = len(rows) - len(placed)
+        label = f"    {policy:<15}{len(placed):3d} placed, " \
+                f"{rejected} rejected"
+        if placed:
+            stats = summary_stats(placed)
+            lines.append(
+                f"{label}   p50 {stats['p50']:.1f}  "
+                f"p90 {stats['p90']:.1f}  max {stats['max']:.1f}")
+        else:
+            lines.append(f"{label}   (no placed points)")
+    return lines
+
+
+def render_gen(report: GenReport, max_rows: int = 48) -> str:
+    """Render a generated-workload exploration as a fixed table.
+
+    Args:
+        report: the exploration to render.
+        max_rows: per-record rows shown before eliding (population
+            sweeps run to hundreds of apps; the per-policy percentile
+            summary below the table always covers every record).
+    """
     lines = [
         f"Generated workloads: seed {report.seed}, "
         f"{report.count} app(s) x {len(report.policies)} policy(ies), "
@@ -300,7 +331,7 @@ def render_gen(report: GenReport) -> str:
         for title, width, _, kind in _GEN_COLUMNS)
     lines.append(header)
     lines.append("  " + "-" * (len(header) - 2))
-    for record in report.records:
+    for record in report.records[:max_rows]:
         cells = []
         for _, width, attr, kind in _GEN_COLUMNS:
             value = getattr(record, attr)
@@ -311,6 +342,9 @@ def render_gen(report: GenReport) -> str:
             else:
                 cells.append(_fmt(value, kind).rjust(width))
         lines.append("  " + "".join(cells).rstrip())
+    elided = len(report.records) - max_rows
+    if elided > 0:
+        lines.append(f"  ... {elided} more record(s) elided")
     counts = report.counts()
     lines.append(
         f"  placements: {counts['ok']} ok, "
@@ -321,6 +355,77 @@ def render_gen(report: GenReport) -> str:
         lines.append(
             f"  power across placed points: {min(powered):.1f}-"
             f"{max(powered):.1f} uW")
+    if report.records:
+        lines.extend(_policy_power_summary(report))
+    return "\n".join(lines)
+
+
+#: Fixed column layout of the placement-search table: (header, width,
+#: value picker kind, format kind).  Golden tests pin this set.
+_SEARCH_COLUMNS: tuple[tuple[str, int, str, str], ...] = (
+    ("app", 18, "app", "str"),
+    ("family", 12, "family", "str"),
+    ("status", 9, "status", "str"),
+    ("start", 14, "start_policy", "str"),
+    ("paper", 9, "paper_cost", "f2"),
+    ("best", 9, "best_cost", "f2"),
+    ("gap%", 7, "gap", "pct"),
+    ("evals", 7, "evaluations", "int"),
+    ("banks", 6, "im_banks", "int"),
+    ("cores", 6, "active_cores", "int"),
+)
+
+
+def render_search(report: SearchReport, max_rows: int = 48) -> str:
+    """Render a placement-search campaign as a fixed table.
+
+    One row per application: the paper-policy cost, the best-found
+    cost and the gap between them, plus the search effort (oracle
+    evaluations actually paid) and the footprint of the best
+    placement.  A gap percentile summary covers every outcome even
+    when rows are elided.
+    """
+    lines = [
+        f"Placement search: seed {report.seed}, "
+        f"{report.count} app(s), {report.algorithm}/{report.cost}, "
+        f"{report.iterations} iteration(s), {report.num_cores} cores, "
+        f"{report.duration_s:g} s/eval"
+    ]
+    header = "  " + "".join(
+        title.ljust(width) if kind == "str" else title.rjust(width)
+        for title, width, _, kind in _SEARCH_COLUMNS)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for outcome in report.outcomes[:max_rows]:
+        cells = []
+        for _, width, attr, kind in _SEARCH_COLUMNS:
+            if attr in ("im_banks", "active_cores"):
+                value = outcome.best_metrics.get(attr, 0)
+            else:
+                value = getattr(outcome, attr)
+            rejected = outcome.status == "rejected"
+            no_paper = attr == "paper_cost" and not outcome.paper_feasible
+            if kind == "str":
+                cells.append(str(value).ljust(width))
+            elif rejected or no_paper:
+                cells.append("-".rjust(width))
+            else:
+                cells.append(_fmt(value, kind).rjust(width))
+        lines.append("  " + "".join(cells).rstrip())
+    elided = len(report.outcomes) - max_rows
+    if elided > 0:
+        lines.append(f"  ... {elided} more outcome(s) elided")
+    counts = report.counts()
+    lines.append(
+        f"  placements: {counts['ok']} ok, "
+        f"{counts['repaired']} repaired, {counts['rejected']} rejected")
+    gaps = report.gap_summary()
+    if gaps["count"]:
+        lines.append(
+            f"  gap over {gaps['count']} placed app(s): "
+            f"p50 {gaps['p50'] * 100:.2f} %, "
+            f"p90 {gaps['p90'] * 100:.2f} %, "
+            f"max {gaps['max'] * 100:.2f} %")
     return "\n".join(lines)
 
 

@@ -123,6 +123,19 @@ def evaluate_app(app: AppSpec, policy_name: str, num_cores: int = 8,
                  token: str = "", family: str = "") -> ExplorationRecord:
     """Run one application through one policy and summarise it.
 
+    Args:
+        app: the application to place and simulate.
+        policy_name: key in :data:`repro.gen.policies.POLICIES`.
+        num_cores: provisioned platform width.
+        duration_s: simulated seconds.
+        token: regeneration token recorded in the record.
+        family: topology family recorded in the record.
+
+    Returns:
+        One :class:`ExplorationRecord` — placed (with the
+        methodology's figures of merit) or rejected (with the
+        placement error).
+
     Raises:
         ValueError: unknown policy name.
     """
@@ -187,6 +200,15 @@ def explore(tokens: list[str],
             duration_s: float = EXPLORE_DURATION_S
             ) -> list[ExplorationRecord]:
     """Evaluate every (token, policy) pair, app-major order.
+
+    Args:
+        tokens: regeneration tokens of the apps to explore.
+        policies: mapping-policy names to apply to each app.
+        num_cores: provisioned platform width.
+        duration_s: simulated seconds per point.
+
+    Returns:
+        ``len(tokens) * len(policies)`` records, apps outermost.
 
     Raises:
         ValueError: unknown policy or malformed token.

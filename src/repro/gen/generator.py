@@ -213,7 +213,18 @@ def generate_app(family: str, seed: int, index: int = 0) -> AppSpec:
 
 
 def app_from_token(token: str) -> AppSpec:
-    """Regenerate the application a token identifies."""
+    """Regenerate the application a token identifies.
+
+    Args:
+        token: a ``"family:seed:index"`` identity from
+            :func:`app_token` / :func:`suite_tokens`.
+
+    Returns:
+        The byte-identical application the token names.
+
+    Raises:
+        ValueError: malformed token or unknown family.
+    """
     family, seed, index = parse_app_token(token)
     return generate_app(family, seed, index)
 
@@ -241,7 +252,20 @@ def suite_tokens(seed: int, count: int,
 def generate_suite(seed: int, count: int,
                    families: tuple[str, ...] | None = None
                    ) -> list[AppSpec]:
-    """Generate a balanced suite of applications."""
+    """Generate a balanced suite of applications.
+
+    Args:
+        seed: suite seed (every app's draw stream derives from it).
+        count: applications to generate (>= 1).
+        families: family cycle; :data:`FAMILY_ORDER` when omitted.
+
+    Returns:
+        ``count`` valid applications, families cycled round-robin —
+        the materialised form of :func:`suite_tokens`.
+
+    Raises:
+        ValueError: unknown family or non-positive count.
+    """
     return [app_from_token(token)
             for token in suite_tokens(seed, count, families)]
 

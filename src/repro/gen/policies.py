@@ -17,6 +17,11 @@ heuristics join the paper policy and the single-core baseline:
   the heaviest chain's head shares bank 0 with the runtime (the
   broadcast-friendly slot), subsequent sections take dedicated banks
   while they last, then fall back to best-fit instead of failing.
+* ``search-greedy`` / ``search-anneal`` — the stochastic placement
+  search of :mod:`repro.search`, seeded per app from its content
+  fingerprint so the family stays a pure (and cacheable) function of
+  the application; reports how much headroom the fixed heuristics
+  leave on the table.
 
 Every policy is a pure ``(app, num_cores, geometry) -> MappingPlan``
 function; single-core is the odd one out (it ignores ``num_cores``
@@ -40,6 +45,7 @@ from ..apps.mapping import (
 )
 from ..apps.phases import AppSpec
 from ..isa.layout import ImGeometry
+from .generator import app_fingerprint, derive_seed
 
 #: Signature every mapper implements.
 Mapper = Callable[[AppSpec, int, "ImGeometry | None"], MappingPlan]
@@ -65,6 +71,15 @@ class MappingPolicy:
     def map(self, app: AppSpec, num_cores: int = 8,
             geometry: ImGeometry | None = None) -> MappingPlan:
         """Apply the policy.
+
+        Args:
+            app: the application to place.
+            num_cores: provisioned platform width (ignored by the
+                single-core baseline).
+            geometry: IM geometry (platform default when omitted).
+
+        Returns:
+            The placement as a simulator-ready mapping plan.
 
         Raises:
             repro.apps.mapping.MappingError: the app does not fit.
@@ -203,6 +218,39 @@ def map_critical_path(app: AppSpec, num_cores: int = 8,
         dm_footprint_words=dm_footprint(app))
 
 
+#: Proposal budget of the search-backed policy family (kept modest:
+#: the explorer pays one full-length simulation per record on top of
+#: the oracle calls the search itself makes).
+SEARCH_POLICY_ITERATIONS = 24
+
+#: Simulated seconds per oracle call inside the policy family.
+SEARCH_POLICY_DURATION_S = 1.0
+
+
+def _search_mapper(algorithm: str) -> Mapper:
+    """A mapper that searches for its placement (seeded per app)."""
+
+    def mapper(app: AppSpec, num_cores: int = 8,
+               geometry: ImGeometry | None = None) -> MappingPlan:
+        # Deferred import: repro.search builds on this module.
+        from ..search import search_mapping
+
+        seed = derive_seed("search-policy", algorithm,
+                           app_fingerprint(app), num_cores)
+        outcome = search_mapping(
+            app, num_cores=num_cores, geometry=geometry,
+            algorithm=algorithm,
+            iterations=SEARCH_POLICY_ITERATIONS,
+            duration_s=SEARCH_POLICY_DURATION_S, seed=seed)
+        if outcome.best_plan is None:
+            raise MappingError(
+                outcome.error
+                or f"{app.name}: no feasible placement found")
+        return outcome.best_plan
+
+    return mapper
+
+
 def _paper_mapper(app: AppSpec, num_cores: int,
                   geometry: ImGeometry | None) -> MappingPlan:
     return map_multicore(app, num_cores, geometry)
@@ -227,6 +275,14 @@ POLICIES: dict[str, MappingPolicy] = {
     "critical-path": MappingPolicy(
         name="critical-path", multicore=True, mapper=map_critical_path,
         description="critical-path-first placement with bank fallback"),
+    "search-greedy": MappingPolicy(
+        name="search-greedy", multicore=True,
+        mapper=_search_mapper("greedy"),
+        description="greedy hill-climb over section/core placements"),
+    "search-anneal": MappingPolicy(
+        name="search-anneal", multicore=True,
+        mapper=_search_mapper("anneal"),
+        description="simulated-annealing placement search"),
 }
 
 

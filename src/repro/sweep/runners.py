@@ -24,6 +24,11 @@ Families:
   through :func:`repro.gen.explorer.evaluate_token`; the app rides in
   the point as its regeneration token (``"family:seed:index"``), so
   points stay JSON scalars and regeneration is deterministic.
+* ``search`` — one stochastic placement search through
+  :func:`repro.search.search_token`; axes reach the app token, the
+  algorithm (``anneal``/``greedy``), the cost oracle, the proposal
+  budget and the walk seed.  ``simulated_s`` counts the oracle calls
+  actually paid (memoised duplicates are free).
 
 Every metric mapping carries ``simulated_s``: the simulated seconds
 the point covered, the numerator of the benchmark schema's
@@ -49,6 +54,7 @@ from ..net.fleet import run_fleet
 from ..net.node import APPS
 from ..net.stats import improvement_ratio
 from ..power.vfs import MIN_SYSTEM_CLOCK_MHZ
+from ..search import ORACLE_DURATION_S, SEARCH_ITERATIONS, search_token
 from ..sysc.engine import Mode, simulate, uniform_schedule
 from .spec import Value, stable_seed
 
@@ -89,6 +95,13 @@ HEADLINE_METRICS: dict[str, tuple[str, ...]] = {
         "clock_mhz",
         "duty_cycle",
         "sync_overhead",
+    ),
+    "search": (
+        "status",
+        "paper_cost",
+        "best_cost",
+        "gap",
+        "evaluations",
     ),
 }
 
@@ -251,6 +264,57 @@ def run_gen_point(point: dict[str, Value]) -> dict[str, Value]:
     }
 
 
+def run_search_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Search one generated app's placements (seeded, memoised).
+
+    The walk seed defaults to the point's stable identity hash, so a
+    campaign that omits ``seed`` still reproduces byte-identically
+    while distinct points draw distinct walks.
+    """
+    token = str(_param(point, "gen_app", "pipeline:2014:0"))
+    algorithm = str(_param(point, "algorithm", "anneal"))
+    cost = str(_param(point, "cost", "power"))
+    iterations = int(_param(point, "iterations", SEARCH_ITERATIONS))
+    num_cores = int(_param(point, "num_cores", 8))
+    duration_s = float(_param(point, "duration_s", ORACLE_DURATION_S))
+    seed = point.get("seed")
+    if seed is None:
+        seed = stable_seed("search", dict(point))
+    try:
+        outcome = search_token(
+            token,
+            num_cores=num_cores,
+            algorithm=algorithm,
+            cost=cost,
+            iterations=iterations,
+            seed=int(seed),
+            duration_s=duration_s,
+        )
+    except ValueError as exc:
+        raise RunnerError(str(exc)) from None
+    metrics: dict[str, Value] = {
+        "simulated_s": outcome.evaluations * duration_s,
+        "app": outcome.app,
+        "family": outcome.family,
+        "status": outcome.status,
+        "repairs": outcome.repairs,
+        "error": outcome.error,
+        "start_policy": outcome.start_policy,
+        "paper_feasible": outcome.paper_feasible,
+        "paper_cost": outcome.paper_cost,
+        "start_cost": outcome.start_cost,
+        "best_cost": outcome.best_cost,
+        "gap": outcome.gap,
+        "evaluations": outcome.evaluations,
+        "accepted": outcome.accepted,
+        "infeasible": outcome.infeasible,
+        "seed": int(seed),
+    }
+    for key, value in sorted(outcome.best_metrics.items()):
+        metrics[f"best_{key}"] = value
+    return metrics
+
+
 #: Ablation registry: name -> (driver, result picker).  ``sleep``
 #: returns one result per benchmark; the picker selects by the
 #: point's ``app`` parameter.
@@ -301,6 +365,7 @@ RUNNERS: dict[str, Callable[[dict], dict]] = {
     "platform": run_platform_point,
     "ablation": run_ablation_point,
     "gen": run_gen_point,
+    "search": run_search_point,
 }
 
 

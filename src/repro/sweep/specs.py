@@ -146,6 +146,23 @@ GEN = SweepSpec(
     base=(("duration_s", 5.0), ("num_cores", 8)),
 )
 
+SEARCH = SweepSpec(
+    name="search",
+    runner="search",
+    description="stochastic placement search: generated app x algorithm",
+    axes=(
+        generated_app_axis(seed=2014, count=4),
+        ("algorithm", ("greedy", "anneal")),
+    ),
+    base=(
+        ("cost", "power"),
+        ("iterations", 16),
+        ("duration_s", 1.0),
+        ("num_cores", 8),
+        ("seed", 2014),
+    ),
+)
+
 #: All built-in campaigns, keyed by name.
 SPECS: dict[str, SweepSpec] = {
     spec.name: spec
@@ -160,13 +177,23 @@ SPECS: dict[str, SweepSpec] = {
         FLEET,
         PLATFORM,
         GEN,
+        SEARCH,
     )
 }
 
 #: The campaigns the benchmark harness emits BENCH artifacts for.
 BENCH_SPECS: dict[str, SweepSpec] = {
     spec.name: spec
-    for spec in (TABLE1, FIG6, FIG7, ABLATIONS, FLEET, PLATFORM, GEN)
+    for spec in (
+        TABLE1,
+        FIG6,
+        FIG7,
+        ABLATIONS,
+        FLEET,
+        PLATFORM,
+        GEN,
+        SEARCH,
+    )
 }
 
 

@@ -26,7 +26,12 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from ..apps.mapping import MappingPlan, map_multicore, map_singlecore
+from ..apps.mapping import (
+    MappingPlan,
+    map_multicore,
+    map_singlecore,
+    plan_required_mhz,
+)
 from ..apps.phases import AppSpec, Trigger
 from ..power.components import DEFAULT_ENERGY, EnergyParams
 from ..power.energy import ActivityVector, PowerReport, compute_power
@@ -162,9 +167,9 @@ class _CoreState:
 
 def _required_clock_mhz(app: AppSpec, mode: Mode,
                         schedule: list[BeatEvent],
-                        duration_s: float) -> float:
+                        duration_s: float,
+                        mapping: MappingPlan) -> float:
     """Sizing step of Sec. V-A: the minimum clock for real time."""
-    with_sync = mode is Mode.MULTI_CORE
     if mode is Mode.SINGLE_CORE:
         abnormal = sum(1 for event in schedule if event.abnormal)
         streaming = app.streaming_cycles_per_sample * app.fs
@@ -173,16 +178,10 @@ def _required_clock_mhz(app: AppSpec, mode: Mode,
         return (streaming + triggered) / 1e6
     # Multi-core: the busiest *streaming* core sets the clock; the
     # on-demand chain runs at beat rate with a relaxed (multi-beat)
-    # deadline and never dominates.
-    worst = 0.0
-    for phase in app.phases:
-        if phase.trigger is not Trigger.STREAMING:
-            continue
-        cycles = phase.cycles_per_sample
-        if with_sync:
-            cycles += phase.sync_ops_per_sample
-        worst = max(worst, cycles * app.fs / 1e6)
-    return worst
+    # deadline and never dominates.  Cores hosting several streaming
+    # phases (coalesced search placements) are sized for their summed
+    # load.
+    return plan_required_mhz(mapping, with_sync=mode is Mode.MULTI_CORE)
 
 
 def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
@@ -221,7 +220,8 @@ def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
         raise ValueError(
             f"mapping is {'multi' if mapping.multicore else 'single'}"
             f"-core but mode is {mode.value}")
-    required = _required_clock_mhz(app, mode, schedule, duration_s)
+    required = _required_clock_mhz(app, mode, schedule, duration_s,
+                                   mapping)
     point = plan_operating_point(required, process=process,
                                  single_core=not multicore,
                                  floor_mhz=floor_mhz)

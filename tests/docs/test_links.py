@@ -1,0 +1,51 @@
+"""Documentation checks: relative links resolve, pages exist.
+
+The CI docs job runs ``tools/check_links.py`` standalone; this test
+keeps the same gate in tier 1 so broken links fail locally too.
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_links  # noqa: E402  (path set up above)
+
+
+def test_docs_tree_exists():
+    for page in ("architecture.md", "cli.md", "artifacts.md"):
+        assert (REPO / "docs" / page).is_file(), f"docs/{page} missing"
+
+
+def test_readme_and_docs_links_resolve():
+    files = check_links.iter_markdown(
+        [str(REPO / "README.md"), str(REPO / "docs")])
+    assert len(files) >= 4
+    problems = []
+    for path in files:
+        problems.extend(check_links.check_file(path))
+    assert problems == []
+
+
+def test_checker_flags_broken_links(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("see [missing](./nope.md) and [ok](page.md) "
+                    "and [web](https://example.com)\n")
+    problems = check_links.check_file(page)
+    assert len(problems) == 1
+    assert "nope.md" in problems[0]
+    assert check_links.main([str(tmp_path)]) == 1
+    page.write_text("only [ok](page.md) and [anchor](#x)\n")
+    assert check_links.main([str(tmp_path)]) == 0
+
+
+def test_checker_handles_spaces_and_titles(tmp_path):
+    spaced = tmp_path / "my page.md"
+    spaced.write_text("hello\n")
+    page = tmp_path / "page.md"
+    page.write_text('[a](my page.md) and [b](page.md "a title")\n')
+    assert check_links.check_file(page) == []
+    page.write_text('[a](my missing.md) and [b](gone.md "title")\n')
+    problems = check_links.check_file(page)
+    assert len(problems) == 2

@@ -125,4 +125,41 @@ def test_cli_gen_rejects_unknown_policy():
 
 def test_cli_sweep_gen_spec_listed(capsys):
     assert main(["sweep", "--list"]) == 0
-    assert "gen" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "gen" in out and "search" in out
+
+
+def test_cli_search_reports_gap_and_is_byte_identical(capsys, tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    argv = ["search", "--seed", "7", "--count", "3", "--iterations",
+            "8", "--duration", "1", "--json"]
+    assert main(argv + [str(a)]) == 0
+    out = capsys.readouterr().out
+    assert "Placement search: seed 7, 3 app(s)" in out
+    assert "paper" in out and "gap%" in out
+    assert main(argv + [str(b)]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+    payload = json.loads(a.read_text())
+    assert payload["schema"] == "repro-search/1"
+    assert payload["count"] == 3
+    assert len(payload["outcomes"]) == 3
+    for outcome in payload["outcomes"]:
+        if outcome["status"] != "rejected":
+            assert outcome["gap"] >= 0.0
+            assert outcome["best_cost"] <= \
+                outcome["start_cost"] + 1e-9
+
+
+def test_cli_search_algorithm_and_cost_selection(capsys):
+    assert main(["search", "--seed", "3", "--count", "2",
+                 "--iterations", "5", "--duration", "1",
+                 "--families", "pipeline", "--algorithm", "greedy",
+                 "--cost", "clock"]) == 0
+    out = capsys.readouterr().out
+    assert "greedy/clock" in out
+
+
+def test_cli_search_rejects_unknown_algorithm():
+    with pytest.raises(SystemExit):
+        main(["search", "--algorithm", "nonsense"])

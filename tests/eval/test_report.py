@@ -10,8 +10,15 @@ from textwrap import dedent
 
 from repro.eval.genexp import GenReport
 from repro.eval.netexp import NetReport
-from repro.eval.report import render_gen, render_net, render_sweep
+from repro.eval.report import (
+    render_gen,
+    render_net,
+    render_search,
+    render_sweep,
+)
+from repro.eval.searchexp import SearchReport
 from repro.gen.explorer import ExplorationRecord
+from repro.search import SearchOutcome
 from repro.net.fleet import FleetResult
 from repro.net.stats import FleetSummary, SyncError
 from repro.sweep.engine import PointResult, SweepResult
@@ -136,5 +143,101 @@ def test_render_gen_golden():
           G01-random-dag    random-dag  balanced      repaired    1.20  0.55  0.61    55.0   1.52     5
           G02-fan-in        fan-in      paper         rejected       -     -     -       -      -     -
           placements: 1 ok, 1 repaired, 1 rejected
-          power across placed points: 41.3-55.0 uW""")
+          power across placed points: 41.3-55.0 uW
+          per-policy power (uW), placed points:
+            paper            1 placed, 1 rejected   p50 41.3  p90 41.3  max 41.3
+            balanced         1 placed, 0 rejected   p50 55.0  p90 55.0  max 55.0""")
     assert render_gen(_gen_fixture()) == expected
+
+
+def test_render_gen_elides_population_scale_tables():
+    """Hundreds of records stay readable: rows elide, summary stays."""
+    base = _gen_fixture()
+    ok = base.records[0]
+    many = GenReport(
+        seed=base.seed, count=100, families=base.families,
+        policies=("paper",), num_cores=8, duration_s=1.0,
+        records=tuple(
+            ExplorationRecord(
+                app=f"G{index:02d}-pipeline",
+                token=f"pipeline:7:{index}", family="pipeline",
+                policy="paper", num_cores=8, status="ok",
+                required_mhz=ok.required_mhz, clock_mhz=ok.clock_mhz,
+                voltage=ok.voltage, power_uw=40.0 + index,
+                duty_cycle=ok.duty_cycle,
+                sync_overhead=ok.sync_overhead,
+                code_overhead=ok.code_overhead,
+                active_cores=ok.active_cores, im_banks=ok.im_banks,
+                simulated_s=1.0)
+            for index in range(100)))
+    text = render_gen(many, max_rows=10)
+    assert "... 90 more record(s) elided" in text
+    assert text.count("G0") <= 11  # only the first rows render
+    # the percentile summary still covers every record
+    assert "p50 89.5  p90 129.1  max 139.0" in text
+
+
+def _search_fixture() -> SearchReport:
+    ok = SearchOutcome(
+        app="G00-pipeline", token="pipeline:7:0", family="pipeline",
+        algorithm="anneal", cost_kind="power", seed=11, iterations=40,
+        num_cores=8, duration_s=2.0, status="ok", start_policy="paper",
+        paper_feasible=True, paper_cost=72.694, start_cost=72.694,
+        best_cost=72.081, gap=0.00843, evaluations=15, accepted=28,
+        infeasible=0,
+        best_metrics={"im_banks": 2, "active_cores": 3,
+                      "power_uw": 72.081})
+    repaired = SearchOutcome(
+        app="G01-fork-join", token="fork-join:7:1", family="fork-join",
+        algorithm="anneal", cost_kind="power", seed=12, iterations=40,
+        num_cores=8, duration_s=2.0, status="repaired", repairs=2,
+        start_policy="balanced", paper_feasible=False, paper_cost=0.0,
+        start_cost=50.0, best_cost=47.5, gap=0.05, evaluations=20,
+        accepted=18, infeasible=3,
+        best_metrics={"im_banks": 4, "active_cores": 6,
+                      "power_uw": 47.5})
+    rejected = SearchOutcome(
+        app="G02-fan-in", token="fan-in:7:2", family="fan-in",
+        algorithm="anneal", cost_kind="power", seed=13, iterations=40,
+        num_cores=8, duration_s=2.0, status="rejected",
+        error="G02-fan-in: section 'fuse_s2' does not fit IM")
+    return SearchReport(
+        seed=7, count=3, families=("pipeline", "fork-join", "fan-in"),
+        algorithm="anneal", cost="power", iterations=40, num_cores=8,
+        duration_s=2.0, outcomes=(ok, repaired, rejected))
+
+
+def test_render_search_golden():
+    expected = dedent("""\
+        Placement search: seed 7, 3 app(s), anneal/power, 40 iteration(s), 8 cores, 2 s/eval
+          app               family      status   start             paper     best   gap%  evals banks cores
+          -------------------------------------------------------------------------------------------------
+          G00-pipeline      pipeline    ok       paper             72.69    72.08   0.84     15     2     3
+          G01-fork-join     fork-join   repaired balanced              -    47.50   5.00     20     4     6
+          G02-fan-in        fan-in      rejected                       -        -      -      -     -     -
+          placements: 1 ok, 1 repaired, 1 rejected
+          gap over 2 placed app(s): p50 2.92 %, p90 4.58 %, max 5.00 %""")
+    assert render_search(_search_fixture()) == expected
+
+
+def test_render_search_elides_population_scale_tables():
+    base = _search_fixture()
+    ok = base.outcomes[0]
+    many = SearchReport(
+        seed=7, count=60, families=base.families, algorithm="anneal",
+        cost="power", iterations=40, num_cores=8, duration_s=2.0,
+        outcomes=tuple(
+            SearchOutcome(
+                app=f"G{index:02d}-pipeline",
+                token=f"pipeline:7:{index}", family="pipeline",
+                algorithm="anneal", cost_kind="power", seed=index,
+                iterations=40, num_cores=8, duration_s=2.0,
+                status="ok", start_policy="paper", paper_feasible=True,
+                paper_cost=100.0, start_cost=100.0,
+                best_cost=100.0 - index * 0.5, gap=index * 0.005,
+                evaluations=10, accepted=5, infeasible=0,
+                best_metrics=dict(ok.best_metrics))
+            for index in range(60)))
+    text = render_search(many, max_rows=8)
+    assert "... 52 more outcome(s) elided" in text
+    assert "gap over 60 placed app(s)" in text

@@ -50,11 +50,13 @@ def _chain_app():
     return app
 
 
-def test_registry_has_all_four_policies():
+def test_registry_has_all_policies():
     assert list(POLICIES) == [
         "paper", "single-core", "balanced", "critical-path",
+        "search-greedy", "search-anneal",
     ]
     assert POLICIES["single-core"].multicore is False
+    assert POLICIES["search-anneal"].multicore is True
     with pytest.raises(ValueError):
         get_policy("nope")
 

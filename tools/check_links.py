@@ -1,0 +1,96 @@
+"""Markdown relative-link checker (the CI docs gate).
+
+Scans Markdown files for inline links and images
+(``[text](target)`` / ``![alt](target)``) and fails when a *relative*
+target does not exist on disk.  External schemes (``http://``,
+``https://``, ``mailto:``) and pure in-page anchors (``#section``)
+are ignored; ``path#fragment`` targets are checked for the path only,
+and an optional ``"title"`` suffix is stripped.  Known limitation:
+targets containing a closing parenthesis are truncated at it (write
+such links reference-style if they ever appear).
+
+Run with::
+
+    python tools/check_links.py README.md docs
+
+Arguments are files or directories; directories are scanned
+recursively for ``*.md``.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links/images: [text](target) — target captured up
+#: to the first closing parenthesis (spaces allowed inside).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)]+)\)")
+
+#: Optional `target "title"` form: the quoted title is dropped.
+TITLE_RE = re.compile(r'^(\S+)\s+"[^"]*"$')
+
+#: Schemes that are never checked against the filesystem.
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown(paths: list[str]) -> list[Path]:
+    """Every Markdown file named by the arguments (sorted, deduped)."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(path.rglob("*.md"))
+        else:
+            found.add(path)
+    return sorted(found)
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link messages for one Markdown file."""
+    problems = []
+    if not path.is_file():
+        return [f"{path}: file does not exist"]
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1).strip()
+        titled = TITLE_RE.match(target)
+        if titled:
+            target = titled.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative)
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{path}:{line}: broken relative link -> {target}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on broken relative links in Markdown files")
+    parser.add_argument(
+        "paths", nargs="+",
+        help="Markdown files or directories to scan recursively")
+    args = parser.parse_args(argv)
+    files = iter_markdown(args.paths)
+    if not files:
+        print("no Markdown files found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print("broken links:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"link check passed ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
