@@ -6,10 +6,17 @@ multiprocessing path over serial execution.  On a machine with 4+
 cores the parallel path should clear 2x; the script prints honest
 numbers either way (CI containers are often single-core).
 
+The heterogeneous mode times a *generated-app* fleet (every node
+binds a `repro.gen` app through a mapping policy — the new hot path
+of the pluggable app-source seam) and is gated by the same
+``check_regression.py`` baseline as the homogeneous fleets, via the
+``fleet-gen`` campaign.
+
 Run with::
 
     pytest benchmarks/bench_fleet.py --benchmark-only
     python benchmarks/bench_fleet.py      # emit BENCH_fleet.json
+                                          # and BENCH_fleet-gen.json
 """
 
 import os
@@ -36,6 +43,21 @@ def _run(workers: int, nodes: int = BENCH_NODES):
                      workers=workers)
 
 
+#: Scenario token of the heterogeneous-fleet benchmark: generated
+#: suite, load-levelled placement, drifting-wearables surroundings.
+GEN_SCENARIO = "gen:drifting-wearables:1:8:balanced"
+
+#: Fleet size of the heterogeneous benchmark (binding resolution is
+#: memoised per process, so this mostly times the simulations).
+GEN_NODES = 24
+
+
+def _run_generated(workers: int, nodes: int = GEN_NODES):
+    return run_fleet(GEN_SCENARIO, n_nodes=nodes,
+                     duration_s=FLEET_DURATION_S, seed=1,
+                     workers=workers)
+
+
 def test_fleet_serial_throughput(benchmark):
     """Time the serial fleet and report nodes/second."""
     result = benchmark(_run, 1)
@@ -53,11 +75,28 @@ def test_fleet_parallel_throughput(benchmark, workers):
     print(f"\n{workers} workers: {result.nodes_per_second:.1f} nodes/s")
 
 
+def test_fleet_generated_throughput(benchmark):
+    """Time the heterogeneous generated-app fleet (serial)."""
+    result = benchmark(_run_generated, 1)
+    assert result.summary.n_nodes == GEN_NODES
+    assert result.summary.source == "generated-suite"
+    assert len(result.summary.families) > 1
+    print(f"\ngenerated: {result.nodes_per_second:.1f} nodes/s")
+
+
+def test_fleet_generated_parallel_matches_serial(benchmark):
+    """Time the sharded heterogeneous fleet; pin determinism."""
+    result = benchmark(_run_generated, 4)
+    assert result.mode == "parallel"
+    assert result.summary == _run_generated(1).summary
+    print(f"\ngenerated x4: {result.nodes_per_second:.1f} nodes/s")
+
+
 def main(argv=None) -> int:
-    """Plain-script mode: replay the campaign, emit BENCH_fleet.json."""
+    """Plain-script mode: emit BENCH_fleet.json + BENCH_fleet-gen.json."""
     from repro.sweep import bench_main
 
-    return bench_main("fleet", argv)
+    return bench_main("fleet", argv) or bench_main("fleet-gen", argv)
 
 
 if __name__ == "__main__":

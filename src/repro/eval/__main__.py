@@ -7,6 +7,8 @@ Usage::
     python -m repro.eval fig7
     python -m repro.eval ablations
     python -m repro.eval net [--scenario S] [--nodes N] [--workers W]
+                             [--suite-seed S --suite-count N
+                              --policy P --families F ...] [--json F]
     python -m repro.eval sweep [--spec NAME | --spec-file F] [--workers W]
     python -m repro.eval gen [--seed S] [--count N] [--policies P ...]
     python -m repro.eval search [--seed S] [--count N] [--algorithm A]
@@ -48,7 +50,14 @@ from .genexp import (
     run_gen,
     write_gen_json,
 )
-from .netexp import NET_DURATION_S, run_net
+from .netexp import (
+    NET_DURATION_S,
+    NET_SUITE_COUNT,
+    NET_SUITE_POLICY,
+    NET_SUITE_SEED,
+    run_net,
+    write_net_json,
+)
 from .report import (
     render_ablations,
     render_fig6,
@@ -140,6 +149,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "net", help="run the fleet network experiment")
     _add_duration(net, f"{NET_DURATION_S:g} s")
     _add_net_flags(net)
+    net.add_argument(
+        "--suite-seed", type=int, default=None, metavar="SEED",
+        help="draw each node's app from a generated suite with this "
+             f"seed (default when any suite flag is given: "
+             f"{NET_SUITE_SEED})")
+    net.add_argument(
+        "--suite-count", type=_positive_int, default=None, metavar="N",
+        help=f"generated-suite size (default: {NET_SUITE_COUNT})")
+    net.add_argument(
+        "--families", nargs="+", choices=list(FAMILY_ORDER),
+        default=None, metavar="FAMILY",
+        help="topology families of the generated suite "
+             f"(default: all of {', '.join(FAMILY_ORDER)})")
+    net.add_argument(
+        "--policy", choices=sorted(POLICIES), default=None,
+        help="mapping policy placing every generated app "
+             f"(default: {NET_SUITE_POLICY})")
+    net.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the deterministic repro-net/1|2 artifact here")
 
     sweep = commands.add_parser(
         "sweep", help="run a declarative sweep campaign (cached)")
@@ -311,12 +340,20 @@ def main(argv: list[str] | None = None) -> int:
             paper_duration)))
     if experiment in ("net", "all"):
         net_duration = NET_DURATION_S if duration is None else duration
-        sections.append(render_net(run_net(
+        net_families = getattr(args, "families", None)
+        report = run_net(
             scenario=args.scenario or "drifting-wearables",
             n_nodes=args.nodes,
             duration_s=net_duration, protocol=args.protocol,
             workers=args.workers,
-            seed=args.seed)))
+            seed=args.seed,
+            suite_seed=getattr(args, "suite_seed", None),
+            suite_count=getattr(args, "suite_count", None),
+            families=tuple(net_families) if net_families else None,
+            policy=getattr(args, "policy", None))
+        if getattr(args, "json", None) is not None:
+            write_net_json(report, args.json)
+        sections.append(render_net(report))
     print("\n\n".join(sections))
     return 0
 

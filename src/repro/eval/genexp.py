@@ -26,6 +26,7 @@ from ..gen.explorer import (
     STATUS_REPAIRED,
     ExplorationRecord,
     explore,
+    policy_rates,
 )
 from ..gen.generator import (
     GEN_SCHEMA,
@@ -77,6 +78,10 @@ class GenReport:
             counts[record.status] += 1
         return counts
 
+    def policy_rates(self) -> dict[str, dict[str, float | int]]:
+        """Per-policy reject/repair rates (the standing metric)."""
+        return policy_rates(list(self.records))
+
 
 def run_gen(seed: int = GEN_SEED, count: int = GEN_COUNT,
             families: tuple[str, ...] | None = None,
@@ -118,6 +123,7 @@ def gen_payload(report: GenReport) -> dict:
         "num_cores": report.num_cores,
         "duration_s": report.duration_s,
         "status_counts": report.counts(),
+        "policy_rates": report.policy_rates(),
         "apps": apps,
         "records": [asdict(record) for record in report.records],
     }

@@ -6,23 +6,51 @@ the same replay — its sync protocol's residual error and the
 free-running counterfactual (raw local clock).  Comparing the two
 steady-state figures costs a single fleet run; the expensive per-node
 ECG/power simulation is never duplicated.
+
+Fleets are no longer limited to the three fixed benchmarks: passing
+suite parameters (``suite_seed`` / ``suite_count`` / ``families`` /
+``policy``) derives a heterogeneous scenario whose nodes draw
+generated applications (:mod:`repro.net.appsource`), and the report
+gains per-family / per-policy breakdowns.
+
+The JSON artifact (:func:`net_payload`) is versioned: benchmark-backed
+fleets emit ``repro-net/1`` documents, heterogeneous fleets emit
+``repro-net/2`` documents that additionally carry per-node app
+tokens, mapping policies, clock floors and the group breakdowns.
+Both contain *only* deterministic fields — never wall-clock timing —
+so two runs of the same configuration produce byte-identical files.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
+from ..net.appsource import BENCHMARK_KIND
 from ..net.fleet import (
     DEFAULT_DURATION_S,
     DEFAULT_SEED,
     FleetResult,
     run_fleet,
 )
+from ..net.node import NodeResult
+from ..net.scenarios import generated_scenario
 from ..net.stats import SyncError, improvement_ratio
 
 #: Default simulated seconds of the network experiment (the fleet
 #: runner's own default; re-exported under the experiment's name).
 NET_DURATION_S = DEFAULT_DURATION_S
+
+#: Artifact schema tags (v1: benchmark fleets, v2: heterogeneous
+#: fleets with per-node app tokens and group breakdowns).
+NET_SCHEMA_V1 = "repro-net/1"
+NET_SCHEMA_V2 = "repro-net/2"
+
+#: Suite defaults of the heterogeneous network experiment.
+NET_SUITE_SEED = 7
+NET_SUITE_COUNT = 12
+NET_SUITE_POLICY = "balanced"
 
 
 @dataclass(frozen=True)
@@ -30,13 +58,15 @@ class NetReport:
     """Synced-vs-free-running comparison of one scenario.
 
     Attributes:
-        scenario: scenario name.
+        scenario: scenario name (or scenario token).
         result: the fleet run (its summary carries both the synced
             and the free-running error statistics).
+        seed: fleet seed the run used (recorded for the artifact).
     """
 
     scenario: str
     result: FleetResult
+    seed: int = DEFAULT_SEED
 
     @property
     def synced(self) -> SyncError:
@@ -60,17 +90,141 @@ def run_net(scenario: str = "drifting-wearables",
             duration_s: float = NET_DURATION_S,
             protocol: str | None = None,
             workers: int = 1,
-            seed: int = DEFAULT_SEED) -> NetReport:
+            seed: int = DEFAULT_SEED,
+            suite_seed: int | None = None,
+            suite_count: int | None = None,
+            families: tuple[str, ...] | None = None,
+            policy: str | None = None) -> NetReport:
     """Run one scenario and report synced vs. free-running error.
 
     Args:
-        scenario: preset name (see :data:`repro.net.scenarios.SCENARIOS`).
+        scenario: preset name or scenario token (see
+            :func:`repro.net.scenarios.parse_scenario`).
         n_nodes: fleet size; defaults to the preset's size.
         duration_s: simulated seconds of ECG per node.
         protocol: override the preset's sync protocol.
         workers: worker processes of the fleet runner.
         seed: fleet seed.
+        suite_seed: when any suite parameter is given, the scenario
+            becomes heterogeneous: nodes draw generated apps from
+            this suite instead of the preset's benchmark mix.
+        suite_count: generated-suite size (default 12).
+        families: topology-family cycle of the suite (default: all).
+        policy: mapping policy placing every generated app
+            (default ``balanced``).
     """
+    heterogeneous = any(value is not None for value in
+                        (suite_seed, suite_count, families, policy))
+    if heterogeneous:
+        scenario = generated_scenario(
+            base=scenario,
+            seed=NET_SUITE_SEED if suite_seed is None else suite_seed,
+            count=NET_SUITE_COUNT if suite_count is None
+            else suite_count,
+            policy=NET_SUITE_POLICY if policy is None else policy,
+            families=families)
     result = run_fleet(scenario, n_nodes=n_nodes, duration_s=duration_s,
                        seed=seed, protocol=protocol, workers=workers)
-    return NetReport(scenario=result.summary.scenario, result=result)
+    return NetReport(scenario=result.summary.scenario, result=result,
+                     seed=seed)
+
+
+def _json_safe(value: float) -> float | str:
+    """JSON has no inf/nan; encode them as strings."""
+    if isinstance(value, float) and (
+            value != value or value in (float("inf"), float("-inf"))):
+        return repr(value)
+    return value
+
+
+def _node_entry(node: NodeResult, heterogeneous: bool) -> dict:
+    """The artifact record of one node."""
+    entry = {
+        "node_id": node.node_id,
+        "app": node.app_name,
+        "protocol": node.protocol,
+        "drift_ppm": node.drift_ppm,
+        "bpm": node.bpm,
+        "resets": node.resets,
+        "beacons_heard": node.beacons_heard,
+        "radio_uw": node.radio_uw,
+        "power_uw": node.power.total_uw,
+        "power": dict(node.power.categories),
+        "sync": asdict(node.sync),
+        "steady_sync": asdict(node.steady_sync),
+        "unsync": asdict(node.unsync),
+        "steady_unsync": asdict(node.steady_unsync),
+    }
+    if heterogeneous:
+        entry.update(
+            token=node.token,
+            family=node.family,
+            policy=node.policy,
+            floor_mhz=node.floor_mhz,
+            repairs=node.repairs,
+        )
+    return entry
+
+
+def net_payload(report: NetReport) -> dict:
+    """The deterministic JSON document of one network experiment.
+
+    Benchmark fleets keep the ``repro-net/1`` shape; heterogeneous
+    fleets (any non-benchmark app source) emit ``repro-net/2`` with
+    per-node app identities and the per-family / per-policy blocks.
+    """
+    summary = report.result.summary
+    heterogeneous = summary.source != BENCHMARK_KIND
+    payload = {
+        "schema": NET_SCHEMA_V2 if heterogeneous else NET_SCHEMA_V1,
+        "scenario": summary.scenario,
+        "protocol": summary.protocol,
+        "seed": report.seed,
+        "n_nodes": summary.n_nodes,
+        "duration_s": summary.duration_s,
+        "total_power_uw": summary.total_power_uw,
+        "mean_power_uw": summary.mean_power_uw,
+        "mean_radio_uw": summary.mean_radio_uw,
+        "beacons_sent": summary.beacons_sent,
+        "beacons_heard": summary.beacons_heard,
+        "power_loss_resets": summary.power_loss_resets,
+        "sync": asdict(summary.sync),
+        "steady_sync": asdict(summary.steady_sync),
+        "unsync": asdict(summary.unsync),
+        "steady_unsync": asdict(summary.steady_unsync),
+        "improvement": _json_safe(report.improvement),
+        "nodes": [_node_entry(node, heterogeneous)
+                  for node in report.result.nodes],
+    }
+    if heterogeneous:
+        payload["source"] = summary.source
+        payload["families"] = [asdict(group)
+                               for group in summary.families]
+        payload["policies"] = [asdict(group)
+                               for group in summary.policies]
+    return payload
+
+
+def write_net_json(report: NetReport, path: str | Path) -> Path:
+    """Write the network-experiment artifact; returns its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(net_payload(report), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+__all__ = [
+    "NET_DURATION_S",
+    "NET_SCHEMA_V1",
+    "NET_SCHEMA_V2",
+    "NET_SUITE_COUNT",
+    "NET_SUITE_POLICY",
+    "NET_SUITE_SEED",
+    "NetReport",
+    "net_payload",
+    "run_net",
+    "write_net_json",
+]

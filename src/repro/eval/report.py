@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..net.appsource import BENCHMARK_KIND
 from ..net.stats import FleetSummary, SyncError
 from ..power.energy import CATEGORIES
 from .ablations import AblationResult
@@ -169,8 +170,26 @@ def _summary_value(summary: FleetSummary, path: str) -> float:
     return value
 
 
+def _breakdown_block(title: str, groups) -> list[str]:
+    """One per-group table of a heterogeneous fleet summary."""
+    lines = [f"  {title} (nodes, floor MHz, power uW, steady err ms):"]
+    for group in groups:
+        lines.append(
+            f"    {group.name:<14}"
+            f"{group.nodes:4d}"
+            f"{group.mean_floor_mhz:8.2f}"
+            f"{group.mean_power_uw:8.1f}"
+            f"{group.steady_sync.mean_abs_s * 1e3:8.2f}")
+    return lines
+
+
 def render_net(report: NetReport) -> str:
-    """Render the network experiment as a two-column comparison."""
+    """Render the network experiment as a two-column comparison.
+
+    Benchmark fleets keep the historical byte-exact layout;
+    heterogeneous fleets (generated-suite or mixed app sources)
+    additionally get per-family and per-policy breakdown blocks.
+    """
     summary = report.result.summary
     lines = [
         f"Network: {report.scenario} "
@@ -191,6 +210,11 @@ def render_net(report: NetReport) -> str:
                    fmt).rjust(12))
     lines.append(f"  steady-state error reduced {report.improvement:.1f}x "
                  f"by {summary.protocol}")
+    if summary.source != BENCHMARK_KIND:
+        lines.extend(_breakdown_block("per-family breakdown",
+                                      summary.families))
+        lines.extend(_breakdown_block("per-policy breakdown",
+                                      summary.policies))
     lines.append(
         f"  throughput: {report.result.nodes_per_second:.1f} nodes/s "
         f"({report.result.elapsed_s:.2f} s)")
@@ -292,16 +316,24 @@ _GEN_COLUMNS: tuple[tuple[str, int, str, str], ...] = (
 
 
 def _policy_power_summary(report: GenReport) -> list[str]:
-    """Per-policy power percentiles (population-scale aggregate)."""
-    lines = ["  per-policy power (uW), placed points:"]
+    """Per-policy placement rates and power percentiles.
+
+    The reject/repair rates are the standing per-policy metric the
+    adversarial-graph-shapes follow-up tracks
+    (:func:`repro.gen.explorer.policy_rates`); the power percentiles
+    cover the placed points.
+    """
+    rates = report.policy_rates()
+    lines = ["  per-policy placements and power (uW):"]
     for policy in report.policies:
         rows = [record for record in report.records
                 if record.policy == policy]
         placed = [record.power_uw for record in rows
                   if record.status != "rejected"]
-        rejected = len(rows) - len(placed)
-        label = f"    {policy:<15}{len(placed):3d} placed, " \
-                f"{rejected} rejected"
+        rate = rates[policy]
+        label = (f"    {policy:<15}{len(placed):3d} placed  "
+                 f"reject {rate['reject_rate'] * 100:5.1f}%  "
+                 f"repair {rate['repair_rate'] * 100:5.1f}%")
         if placed:
             stats = summary_stats(placed)
             lines.append(

@@ -180,6 +180,39 @@ def evaluate_app(app: AppSpec, policy_name: str, num_cores: int = 8,
     )
 
 
+def policy_rates(records: list[ExplorationRecord]
+                 ) -> dict[str, dict[str, float | int]]:
+    """Per-policy placement-outcome rates — the standing metric.
+
+    Adversarial generated populations (deep chains, wide fan-in,
+    section-heavy draws) are exactly where placement heuristics
+    diverge, so every exploration reports how often each policy had
+    to repair (trim replicas) or outright reject, alongside the
+    absolute counts.
+
+    Returns:
+        ``{policy: {"points", "ok", "repaired", "rejected",
+        "replicas_trimmed", "repair_rate", "reject_rate"}}`` in
+        first-seen policy order.  Rates are fractions of the policy's
+        points (0.0 when the policy saw no points).
+    """
+    per: dict[str, dict[str, float | int]] = {}
+    for record in records:
+        entry = per.setdefault(record.policy, {
+            "points": 0, STATUS_OK: 0, STATUS_REPAIRED: 0,
+            STATUS_REJECTED: 0, "replicas_trimmed": 0})
+        entry["points"] += 1
+        entry[record.status] += 1
+        entry["replicas_trimmed"] += record.repairs
+    for entry in per.values():
+        points = entry["points"]
+        entry["repair_rate"] = entry[STATUS_REPAIRED] / points \
+            if points else 0.0
+        entry["reject_rate"] = entry[STATUS_REJECTED] / points \
+            if points else 0.0
+    return per
+
+
 def evaluate_token(token: str, policy_name: str, num_cores: int = 8,
                    duration_s: float = EXPLORE_DURATION_S
                    ) -> ExplorationRecord:
@@ -232,5 +265,6 @@ __all__ = [
     "evaluate_app",
     "evaluate_token",
     "explore",
+    "policy_rates",
     "repair_app",
 ]

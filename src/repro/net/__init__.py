@@ -5,6 +5,8 @@ The paper reproduces *one* sensor node (``repro.isa`` → ``repro.hw`` →
 drifting local clocks, a beacon radio, pluggable inter-node time-sync
 protocols and a sharded multiprocessing runner:
 
+* :mod:`repro.net.appsource` — pluggable per-node application
+  sources (benchmarks / generated suites / weighted mixes).
 * :mod:`repro.net.clock` — per-node oscillators (drift / jitter /
   power-loss resets).
 * :mod:`repro.net.radio` — beacon delivery and per-message energy.
@@ -17,6 +19,14 @@ protocols and a sharded multiprocessing runner:
   :mod:`repro.eval.report`.
 """
 
+from .appsource import (
+    AppBinding,
+    AppSource,
+    BenchmarkSource,
+    GeneratedSuiteSource,
+    MixedSource,
+    source_from_mapping,
+)
 from .clock import ClockSpec, LocalClock
 from .fleet import (
     DEFAULT_DURATION_S,
@@ -45,13 +55,18 @@ from .radio import (
 from .scenarios import (
     DENSE_WARD,
     DRIFTING_WEARABLES,
+    GENERATED_SWARM,
     INTERMITTENT_HARVESTING,
+    MIXED_CLINIC,
     SCENARIOS,
     Scenario,
+    generated_scenario,
     get_scenario,
+    parse_scenario,
+    scenario_token,
     with_protocol,
 )
-from .stats import FleetSummary, SyncError
+from .stats import FleetSummary, GroupStats, SyncError
 from .timesync import (
     PROTOCOLS,
     FtspSync,
@@ -63,7 +78,10 @@ from .timesync import (
 
 __all__ = [
     "APPS",
+    "AppBinding",
+    "AppSource",
     "Beacon",
+    "BenchmarkSource",
     "ClockSpec",
     "DEFAULT_DURATION_S",
     "DEFAULT_SEED",
@@ -75,8 +93,13 @@ __all__ = [
     "FleetRunner",
     "FleetSummary",
     "FtspSync",
+    "GENERATED_SWARM",
+    "GeneratedSuiteSource",
+    "GroupStats",
     "INTERMITTENT_HARVESTING",
     "LocalClock",
+    "MIXED_CLINIC",
+    "MixedSource",
     "NetworkNode",
     "NoSync",
     "NodeResult",
@@ -92,9 +115,13 @@ __all__ = [
     "SyncProtocol",
     "beacon_schedule",
     "build_node",
+    "generated_scenario",
     "get_scenario",
     "make_protocol",
+    "parse_scenario",
     "receive_beacons",
     "run_fleet",
+    "scenario_token",
+    "source_from_mapping",
     "with_protocol",
 ]

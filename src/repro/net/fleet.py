@@ -29,8 +29,8 @@ from .node import (
     build_node,
 )
 from .radio import Beacon, beacon_schedule
-from .scenarios import Scenario, get_scenario, with_protocol
-from .stats import FleetSummary, SyncError
+from .scenarios import SCENARIOS, Scenario, parse_scenario, with_protocol
+from .stats import FleetSummary, GroupStats, SyncError
 
 #: Default fleet seed (the paper's year).
 DEFAULT_SEED = 2014
@@ -162,6 +162,31 @@ class FleetRunner:
             mode="parallel" if parallel else "serial",
         )
 
+    @staticmethod
+    def _group_stats(results: list[NodeResult],
+                     key) -> tuple[GroupStats, ...]:
+        """Per-group aggregates over a node grouping key, name order."""
+        groups: dict[str, list[NodeResult]] = {}
+        for node in results:
+            groups.setdefault(key(node), []).append(node)
+        stats = []
+        for name in sorted(groups):
+            members = groups[name]
+            followers = [node for node in members
+                         if node.node_id != REFERENCE_NODE_ID]
+            stats.append(GroupStats(
+                name=name,
+                nodes=len(members),
+                mean_power_uw=sum(node.power.total_uw
+                                  for node in members) / len(members),
+                mean_floor_mhz=sum(node.floor_mhz
+                                   for node in members) / len(members),
+                repairs=sum(node.repairs for node in members),
+                steady_sync=SyncError.merged(
+                    [node.steady_sync for node in followers]),
+            ))
+        return tuple(stats)
+
     def _aggregate(self, results: list[NodeResult],
                    beacons: list[Beacon]) -> FleetSummary:
         """Merge per-node results (already sorted by node id)."""
@@ -188,6 +213,11 @@ class FleetRunner:
             beacons_sent=len(beacons) if n else 0,
             beacons_heard=sum(node.beacons_heard for node in results),
             power_loss_resets=sum(node.resets for node in results),
+            source=config.scenario.apps.kind,
+            families=self._group_stats(
+                results, lambda node: node.family or node.app_name),
+            policies=self._group_stats(
+                results, lambda node: node.policy or "paper"),
         )
 
 
@@ -199,7 +229,9 @@ def run_fleet(scenario: str | Scenario, n_nodes: int | None = None,
     """Convenience wrapper: resolve a scenario and run it once.
 
     Args:
-        scenario: preset name or an explicit :class:`Scenario`.
+        scenario: preset name, a ``gen:...`` scenario token (see
+            :func:`repro.net.scenarios.parse_scenario`) or an
+            explicit :class:`Scenario`.
         n_nodes: fleet size; defaults to the scenario's preset size.
         duration_s: simulated seconds per node.
         seed: fleet seed.
@@ -207,9 +239,19 @@ def run_fleet(scenario: str | Scenario, n_nodes: int | None = None,
             ``"none"`` for the unsynchronized baseline).
         workers: worker processes (1 = serial).
         shard_size: explicit batch size (defaults to an even split).
+
+    Raises:
+        ValueError: unknown scenario name — rejected here at the
+            entry point, with the valid preset names listed.
     """
     if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
+        # Fail fast with the full choice list instead of letting an
+        # unknown name surface deep inside node construction.
+        scenario = parse_scenario(scenario)
+    elif not isinstance(scenario, Scenario):
+        raise ValueError(
+            f"scenario must be a name or Scenario, got "
+            f"{type(scenario).__name__!r}; names: {sorted(SCENARIOS)}")
     scenario = with_protocol(scenario, protocol)
     config = FleetConfig(
         scenario=scenario,

@@ -1,4 +1,4 @@
-"""One WBSN network node: clock + radio + a mapped ECG application.
+"""One WBSN network node: clock + radio + a mapped application.
 
 A :class:`NetworkNode` wraps one :func:`repro.sysc.engine.simulate`
 run — the paper's multi-core sensor node with its intra-node
@@ -8,6 +8,12 @@ a beacon :mod:`radio <repro.net.radio>` whose message energy is folded
 into the node's :class:`~repro.power.energy.PowerReport`, and a
 pluggable :mod:`time-sync <repro.net.timesync>` protocol estimating
 the reference node's clock.
+
+The application itself comes from the scenario's pluggable
+:mod:`app source <repro.net.appsource>`: fixed Table I benchmarks,
+generated-suite draws placed by a mapping policy, or a weighted mix.
+The node simulates whatever plan its binding carries, so
+heterogeneous fleets pay each node's *own* clock floor and power.
 
 Nodes are pure functions of ``(scenario, fleet seed, node id)``: every
 random draw comes from named per-node streams, so a node simulated in
@@ -20,28 +26,30 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..apps import rp_class, three_lead_mf, three_lead_mmd
 from ..apps.phases import AppSpec
 from ..power.energy import PowerReport
 from ..sysc.engine import Mode, simulate, uniform_schedule
+from .appsource import APPS, AppBinding
 from .clock import ClockSpec, LocalClock
 from .radio import Beacon, RadioEnergy, receive_beacons
 from .scenarios import Scenario
 from .stats import SyncError
 from .timesync import make_protocol
 
+__all__ = [
+    "APPS",
+    "ERROR_SAMPLE_HZ",
+    "REFERENCE_NODE_ID",
+    "NetworkNode",
+    "NodeResult",
+    "build_node",
+]
+
 #: Node id of the sync reference (the continuously powered hub).
 REFERENCE_NODE_ID = 0
 
 #: Error-sampling rate of the residual sync error (Hz of global time).
 ERROR_SAMPLE_HZ = 5.0
-
-#: Application registry: scenario app-mix names -> AppSpec builders.
-APPS = {
-    "3L-MF": lambda ratio: three_lead_mf(),
-    "3L-MMD": lambda ratio: three_lead_mmd(),
-    "RP-CLASS": rp_class,
-}
 
 
 @dataclass(frozen=True)
@@ -50,7 +58,7 @@ class NodeResult:
 
     Attributes:
         node_id: fleet-wide id (0 is the reference).
-        app_name: benchmark the node ran.
+        app_name: application the node ran.
         protocol: sync protocol name ("reference" for node 0).
         drift_ppm: the node's sampled oscillator drift.
         bpm: the node's sampled heart rate.
@@ -67,6 +75,15 @@ class NodeResult:
             same replay (the baseline is just the raw local clock),
             so one fleet run yields both sides of the comparison.
         steady_unsync: free-running error over the second half.
+        token: regeneration token of a generated app ("" for
+            benchmarks).
+        family: topology family of a generated app ("" for
+            benchmarks).
+        policy: mapping policy that placed the app ("" = paper
+            default).
+        floor_mhz: the placement's own clock requirement (0 when the
+            paper default was derived inside the simulator).
+        repairs: replicas trimmed to fit the platform.
     """
 
     node_id: int
@@ -82,6 +99,11 @@ class NodeResult:
     steady_sync: SyncError
     unsync: SyncError
     steady_unsync: SyncError
+    token: str = ""
+    family: str = ""
+    policy: str = ""
+    floor_mhz: float = 0.0
+    repairs: int = 0
 
 
 def _stream(fleet_seed: int, node_id: int, stream: str) -> random.Random:
@@ -101,18 +123,27 @@ class NetworkNode:
     node's own seeded streams.
     """
 
-    def __init__(self, node_id: int, scenario: Scenario, app_name: str,
-                 app: AppSpec, bpm: float, clock: LocalClock,
+    def __init__(self, node_id: int, scenario: Scenario,
+                 binding: AppBinding, bpm: float, clock: LocalClock,
                  rng_radio: random.Random, duration_s: float) -> None:
         self.node_id = node_id
         self.scenario = scenario
-        self.app_name = app_name
-        self.app = app
+        self.binding = binding
         self.bpm = bpm
         self.clock = clock
         self.duration_s = duration_s
         self._rng_radio = rng_radio
         self.is_reference = node_id == REFERENCE_NODE_ID
+
+    @property
+    def app_name(self) -> str:
+        """Name of the bound application."""
+        return self.binding.name
+
+    @property
+    def app(self) -> AppSpec:
+        """The bound (possibly repaired) application spec."""
+        return self.binding.app
 
     def simulate(self, beacons: list[Beacon], sample_times: list[float],
                  ref_readings: list[float]) -> NodeResult:
@@ -128,8 +159,13 @@ class NetworkNode:
         schedule = uniform_schedule(
             self.duration_s, self.app.fs, bpm=self.bpm,
             abnormal_ratio=self.scenario.abnormal_ratio)
-        result = simulate(self.app, Mode.MULTI_CORE, schedule,
-                          duration_s=self.duration_s)
+        plan = self.binding.plan
+        mode = Mode.MULTI_CORE if plan is None or plan.multicore \
+            else Mode.SINGLE_CORE
+        result = simulate(self.app, mode, schedule,
+                          duration_s=self.duration_s,
+                          num_cores=self.binding.num_cores,
+                          mapping=plan)
 
         energy = RadioEnergy()
         errors: list[float] = []
@@ -164,6 +200,11 @@ class NetworkNode:
             steady_sync=SyncError.from_samples(steady),
             unsync=SyncError.from_samples(base_errors),
             steady_unsync=SyncError.from_samples(base_steady),
+            token=self.binding.token,
+            family=self.binding.family,
+            policy=self.binding.policy,
+            floor_mhz=self.binding.floor_mhz,
+            repairs=self.binding.repairs,
         )
 
     def _sync_errors(self, receptions, sample_times: list[float],
@@ -211,15 +252,18 @@ def build_node(scenario: Scenario, node_id: int, fleet_seed: int,
                duration_s: float) -> NetworkNode:
     """Construct one node from its seeded streams.
 
+    The node's application comes from the scenario's app source
+    (benchmark mix, generated suite or weighted union); everything
+    else — heart rate, drift, offset, reset schedule — is drawn from
+    the same named streams as before, so benchmark-backed scenarios
+    reproduce the historical fleets bit-for-bit.
+
     The reference node (id 0) is the hub: it is continuously powered
     (no power-loss resets) but its oscillator drifts like any other —
     the fleet synchronizes to it, not to true time.
     """
     rng_app = _stream(fleet_seed, node_id, "app")
-    names = [name for name, _ in scenario.app_mix]
-    weights = [weight for _, weight in scenario.app_mix]
-    app_name = rng_app.choices(names, weights=weights)[0]
-    app = APPS[app_name](scenario.abnormal_ratio)
+    binding = scenario.apps.bind(rng_app, scenario.abnormal_ratio)
     bpm = rng_app.uniform(*scenario.bpm_range)
 
     magnitude = rng_app.uniform(*scenario.drift_ppm_range)
@@ -239,8 +283,7 @@ def build_node(scenario: Scenario, node_id: int, fleet_seed: int,
     return NetworkNode(
         node_id=node_id,
         scenario=scenario,
-        app_name=app_name,
-        app=app,
+        binding=binding,
         bpm=bpm,
         clock=clock,
         rng_radio=_stream(fleet_seed, node_id, "radio"),

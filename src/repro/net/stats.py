@@ -77,6 +77,34 @@ def improvement_ratio(unsync_s: float, sync_s: float) -> float:
 
 
 @dataclass(frozen=True)
+class GroupStats:
+    """Aggregate over one node group of a heterogeneous fleet.
+
+    Fleets whose nodes draw from generated suites are reported per
+    topology *family* and per mapping *policy* on top of the
+    fleet-wide summary; each group row is one of these.
+
+    Attributes:
+        name: group key (topology family, benchmark name or mapping
+            policy).
+        nodes: nodes in the group (reference included).
+        mean_power_uw: mean average node power of the group, µW.
+        mean_floor_mhz: mean per-app clock floor of the group's
+            placements (0 for paper-default benchmark nodes).
+        repairs: total replicas trimmed across the group.
+        steady_sync: merged steady-state sync error of the group's
+            follower nodes.
+    """
+
+    name: str
+    nodes: int
+    mean_power_uw: float
+    mean_floor_mhz: float
+    repairs: int
+    steady_sync: SyncError = field(default_factory=SyncError)
+
+
+@dataclass(frozen=True)
 class FleetSummary:
     """Deterministic aggregate of one fleet run.
 
@@ -103,6 +131,12 @@ class FleetSummary:
         beacons_sent: beacons broadcast by the reference node.
         beacons_heard: total receptions across the fleet.
         power_loss_resets: total power-loss reboots across the fleet.
+        source: app-source kind of the scenario (``benchmark``,
+            ``generated-suite`` or ``mixed``).
+        families: per-family group aggregates, name order (benchmark
+            nodes group under their app name).
+        policies: per-mapping-policy group aggregates, name order
+            (paper-default nodes group under ``paper``).
     """
 
     scenario: str
@@ -119,3 +153,6 @@ class FleetSummary:
     beacons_sent: int = 0
     beacons_heard: int = 0
     power_loss_resets: int = 0
+    source: str = "benchmark"
+    families: tuple[GroupStats, ...] = ()
+    policies: tuple[GroupStats, ...] = ()

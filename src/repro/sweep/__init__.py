@@ -14,6 +14,7 @@ from .artifacts import (
     BENCH_SCHEMA,
     bench_payload,
     merge_bench,
+    percentile_axes,
     sweep_rows,
     write_bench_json,
     write_csv,
@@ -57,6 +58,7 @@ __all__ = [
     "get_runner",
     "get_spec",
     "merge_bench",
+    "percentile_axes",
     "point_key",
     "run_sweep",
     "spec_from_mapping",

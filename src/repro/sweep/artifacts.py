@@ -15,6 +15,11 @@ schema (``repro-bench/1``)::
       "sim_s_per_s": 48.9,       # simulated seconds per wall second
       "workers": 2,
       "mode": "parallel",
+      "aggregates": {            # percentile axes per headline metric
+        "power_uw": {"count": 6, "min": ..., "p50": ..., "p90": ...,
+                     "max": ..., "mean": ...},
+        ...
+      },
       "results": [
         {"point": {...}, "metrics": {...},
          "wall_s": 0.31, "sim_s_per_s": 48.4, "cached": false},
@@ -24,7 +29,11 @@ schema (``repro-bench/1``)::
 
 ``sim_s_per_s`` is the headline throughput figure the CI regression
 gate tracks; ``cache.hits`` / ``cache.misses`` make warm and cold runs
-distinguishable in the uploaded artifacts.
+distinguishable in the uploaded artifacts.  ``aggregates`` are the
+per-campaign *percentile axes*: a five-point summary
+(:func:`repro.eval.aggregates.summary_stats`) of every numeric
+headline metric of the campaign's run family, so population-scale
+campaigns stay comparable without re-reading hundreds of points.
 """
 
 from __future__ import annotations
@@ -33,7 +42,9 @@ import csv
 import json
 from pathlib import Path
 
+from ..eval.aggregates import summary_stats
 from .engine import SweepResult
+from .runners import HEADLINE_METRICS
 from .spec import Value
 
 #: Schema tag of BENCH documents (bump on incompatible changes).
@@ -49,9 +60,36 @@ def _sanitize(value: Value) -> Value:
     return value
 
 
+def percentile_axes(result: SweepResult) -> dict[str, dict]:
+    """Per-campaign aggregate blocks over the headline metrics.
+
+    Every numeric headline metric of the campaign's run family (see
+    :data:`repro.sweep.runners.HEADLINE_METRICS`) is summarised with
+    count/min/p50/p90/max/mean over all points that report it.
+    Non-numeric metrics (statuses, names) and metrics absent from
+    every point are skipped, so the block never changes shape under
+    partial failures.
+    """
+    axes: dict[str, dict] = {}
+    for key in HEADLINE_METRICS.get(result.spec.runner, ()):
+        values = []
+        for point in result.results:
+            value = point.metrics.get(key)
+            numeric = isinstance(value, (int, float))
+            if numeric and not isinstance(value, bool):
+                values.append(value)
+        if values:
+            axes[key] = {
+                stat: _sanitize(value)
+                for stat, value in summary_stats(values).items()
+            }
+    return axes
+
+
 def bench_payload(result: SweepResult, name: str | None = None) -> dict:
     """The BENCH document of one sweep result."""
     return {
+        "aggregates": percentile_axes(result),
         "schema": BENCH_SCHEMA,
         "name": name or result.spec.name,
         "spec": result.spec.as_dict(),

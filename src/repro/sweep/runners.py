@@ -16,6 +16,16 @@ Families:
   :func:`repro.net.fleet.run_fleet`; axes reach the scenario preset,
   sync protocol, fleet size, duration and seed.  Runs serially inside
   the sweep worker (the sweep pool is the parallelism).
+* ``fleet-gen`` — one *heterogeneous* fleet whose nodes draw
+  generated apps from a seeded suite
+  (:func:`repro.net.scenarios.generated_scenario`); axes reach the
+  base preset, suite identity (``suite_seed`` / ``suite_count`` /
+  ``families`` as a ``+``-joined token), the mapping policy and every
+  ``fleet`` axis.  Points stay JSON scalars: the scenario is rebuilt
+  from its parameters inside the runner.  Reports
+  ``distinct_families`` (named apart from the ``families`` axis so
+  CSV headers never collide), ``mean_floor_mhz`` and ``repairs`` on
+  top of the ``fleet`` metrics.
 * ``platform`` — the cycle-accurate :class:`repro.hw.system.System`
   running a spin kernel; axes reach core count and cycle budget.
 * ``ablation`` — one mechanism ablation from
@@ -52,6 +62,7 @@ from ..hw.system import System
 from ..isa import assemble
 from ..net.fleet import run_fleet
 from ..net.node import APPS
+from ..net.scenarios import generated_scenario
 from ..net.stats import improvement_ratio
 from ..power.vfs import MIN_SYSTEM_CLOCK_MHZ
 from ..search import ORACLE_DURATION_S, SEARCH_ITERATIONS, search_token
@@ -86,6 +97,14 @@ HEADLINE_METRICS: dict[str, tuple[str, ...]] = {
         "steady_sync_ms",
         "steady_unsync_ms",
         "improvement",
+    ),
+    "fleet-gen": (
+        "mean_power_uw",
+        "mean_floor_mhz",
+        "steady_sync_ms",
+        "improvement",
+        "distinct_families",
+        "repairs",
     ),
     "platform": ("cycles", "im_broadcast", "active_cycles"),
     "ablation": ("with_uw", "without_uw", "penalty"),
@@ -163,15 +182,14 @@ def run_app_point(point: dict[str, Value]) -> dict[str, Value]:
     return metrics
 
 
-def run_fleet_point(point: dict[str, Value]) -> dict[str, Value]:
-    """Simulate one multi-node fleet scenario (serially)."""
-    scenario = str(_param(point, "scenario", "drifting-wearables"))
+def _run_fleet_summary(scenario, point: dict[str, Value], stream: str):
+    """Run one fleet (serially); return (seed, duration_s, summary)."""
     duration_s = float(_param(point, "duration_s", 5.0))
     nodes = point.get("nodes")
     protocol = point.get("protocol")
     seed = point.get("seed")
     if seed is None:
-        seed = stable_seed("fleet", dict(point))
+        seed = stable_seed(stream, dict(point))
     result = run_fleet(
         scenario,
         n_nodes=None if nodes is None else int(nodes),
@@ -180,7 +198,13 @@ def run_fleet_point(point: dict[str, Value]) -> dict[str, Value]:
         protocol=None if protocol is None else str(protocol),
         workers=1,
     )
-    summary = result.summary
+    return int(seed), duration_s, result.summary
+
+
+def _fleet_metrics(
+    seed: int, summary, duration_s: float
+) -> dict[str, Value]:
+    """Flatten one fleet summary into the shared metric mapping."""
     improvement = improvement_ratio(
         summary.steady_unsync.mean_abs_s, summary.steady_sync.mean_abs_s
     )
@@ -188,7 +212,7 @@ def run_fleet_point(point: dict[str, Value]) -> dict[str, Value]:
         "simulated_s": duration_s * summary.n_nodes,
         "n_nodes": summary.n_nodes,
         "protocol": summary.protocol,
-        "seed": int(seed),
+        "seed": seed,
         "mean_power_uw": summary.mean_power_uw,
         "mean_radio_uw": summary.mean_radio_uw,
         "beacons_sent": summary.beacons_sent,
@@ -200,6 +224,61 @@ def run_fleet_point(point: dict[str, Value]) -> dict[str, Value]:
         "steady_unsync_ms": summary.steady_unsync.mean_abs_s * 1e3,
         "improvement": improvement,
     }
+
+
+def run_fleet_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Simulate one multi-node fleet scenario (serially)."""
+    scenario = str(_param(point, "scenario", "drifting-wearables"))
+    seed, duration_s, summary = _run_fleet_summary(
+        scenario, point, "fleet"
+    )
+    return _fleet_metrics(seed, summary, duration_s)
+
+
+def run_fleet_gen_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Simulate one heterogeneous generated-app fleet (serially).
+
+    The scenario never travels inside the point: it is rebuilt from
+    the base preset and the suite parameters
+    (:func:`repro.net.scenarios.generated_scenario`), so points stay
+    JSON-scalar and the cache key covers the fleet's full identity.
+    On top of the ``fleet`` metrics, the point reports the number of
+    distinct app families the fleet bound (``distinct_families``),
+    the mean per-app clock floor and the replicas trimmed by
+    placement repair.
+    """
+    base = str(_param(point, "scenario", "drifting-wearables"))
+    suite_seed = int(_param(point, "suite_seed", 7))
+    suite_count = int(_param(point, "suite_count", 8))
+    families = point.get("families")
+    cycle = tuple(str(families).split("+")) if families else None
+    policy = str(_param(point, "policy", "balanced"))
+    num_cores = int(_param(point, "num_cores", 8))
+    try:
+        scenario = generated_scenario(
+            base=base,
+            seed=suite_seed,
+            count=suite_count,
+            policy=policy,
+            families=cycle,
+            num_cores=num_cores,
+        )
+    except ValueError as exc:
+        raise RunnerError(str(exc)) from None
+    seed, duration_s, summary = _run_fleet_summary(
+        scenario, point, "fleet-gen"
+    )
+    metrics = _fleet_metrics(seed, summary, duration_s)
+    nodes = summary.n_nodes
+    weighted_floor = sum(
+        group.nodes * group.mean_floor_mhz for group in summary.families
+    )
+    metrics["scenario_token"] = summary.scenario
+    metrics["distinct_families"] = len(summary.families)
+    metrics["mean_floor_mhz"] = weighted_floor / nodes if nodes else 0.0
+    repairs = sum(group.repairs for group in summary.families)
+    metrics["repairs"] = repairs
+    return metrics
 
 
 def run_platform_point(point: dict[str, Value]) -> dict[str, Value]:
@@ -362,6 +441,7 @@ def run_ablation_point(point: dict[str, Value]) -> dict[str, Value]:
 RUNNERS: dict[str, Callable[[dict], dict]] = {
     "app": run_app_point,
     "fleet": run_fleet_point,
+    "fleet-gen": run_fleet_gen_point,
     "platform": run_platform_point,
     "ablation": run_ablation_point,
     "gen": run_gen_point,

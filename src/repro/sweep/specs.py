@@ -112,6 +112,24 @@ FLEET = SweepSpec(
     base=(("nodes", 8), ("duration_s", 4.0), ("seed", 2014)),
 )
 
+FLEET_GEN = SweepSpec(
+    name="fleet-gen",
+    runner="fleet-gen",
+    description="heterogeneous generated-app fleets: policy x protocol",
+    axes=(
+        ("policy", ("paper", "balanced", "critical-path")),
+        ("protocol", ("none", "rbs", "ftsp")),
+    ),
+    base=(
+        ("scenario", "dense-ward"),
+        ("suite_seed", 2014),
+        ("suite_count", 8),
+        ("nodes", 6),
+        ("duration_s", 4.0),
+        ("seed", 2014),
+    ),
+)
+
 PLATFORM = SweepSpec(
     name="platform",
     runner="platform",
@@ -175,6 +193,7 @@ SPECS: dict[str, SweepSpec] = {
         CORES,
         ABLATIONS,
         FLEET,
+        FLEET_GEN,
         PLATFORM,
         GEN,
         SEARCH,
@@ -190,6 +209,7 @@ BENCH_SPECS: dict[str, SweepSpec] = {
         FIG7,
         ABLATIONS,
         FLEET,
+        FLEET_GEN,
         PLATFORM,
         GEN,
         SEARCH,

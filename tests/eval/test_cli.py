@@ -32,6 +32,42 @@ def test_cli_net(capsys):
     assert "nodes/s" in out
 
 
+def test_cli_net_suite_flags_build_heterogeneous_fleet(capsys):
+    assert main(["net", "--suite-seed", "7", "--suite-count", "12",
+                 "--policy", "balanced", "--nodes", "8",
+                 "--duration", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Network: gen:drifting-wearables:7:12:balanced" in out
+    assert "per-family breakdown" in out
+    assert "per-policy breakdown" in out
+    assert "balanced" in out
+
+
+def test_cli_net_suite_artifacts_are_byte_identical(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    argv = ["net", "--suite-seed", "7", "--suite-count", "12",
+            "--policy", "balanced", "--nodes", "8", "--duration", "4",
+            "--json"]
+    assert main(argv + [str(a)]) == 0
+    assert main(argv + [str(b), "--workers", "2"]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+    payload = json.loads(a.read_text())
+    assert payload["schema"] == "repro-net/2"
+    assert len(payload["nodes"]) == 8
+    assert all(node["token"] for node in payload["nodes"])
+
+
+def test_cli_net_benchmark_artifact_keeps_v1_schema(tmp_path, capsys):
+    path = tmp_path / "net.json"
+    assert main(["net", "--scenario", "dense-ward", "--nodes", "4",
+                 "--duration", "4", "--json", str(path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == "repro-net/1"
+    assert "families" not in payload
+
+
 def test_cli_net_protocol_override(capsys):
     assert main(["net", "--scenario", "dense-ward", "--nodes", "4",
                  "--duration", "4", "--protocol", "ftsp"]) == 0

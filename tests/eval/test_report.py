@@ -20,7 +20,7 @@ from repro.eval.searchexp import SearchReport
 from repro.gen.explorer import ExplorationRecord
 from repro.search import SearchOutcome
 from repro.net.fleet import FleetResult
-from repro.net.stats import FleetSummary, SyncError
+from repro.net.stats import FleetSummary, GroupStats, SyncError
 from repro.sweep.engine import PointResult, SweepResult
 from repro.sweep.spec import SweepSpec
 
@@ -110,6 +110,65 @@ def test_render_net_golden():
     assert render_net(_net_fixture()) == expected
 
 
+def _heterogeneous_net_fixture() -> NetReport:
+    base = _net_fixture()
+    steady = SyncError(count=25, mean_abs_s=0.0021, rms_s=0.003,
+                       max_abs_s=0.004)
+    summary = FleetSummary(
+        scenario="gen:dense-ward:7:12:balanced",
+        protocol=base.result.summary.protocol,
+        n_nodes=4, duration_s=5.0, total_power_uw=400.0,
+        mean_power_uw=100.0, mean_radio_uw=2.5,
+        sync=base.result.summary.sync,
+        steady_sync=base.result.summary.steady_sync,
+        unsync=base.result.summary.unsync,
+        steady_unsync=base.result.summary.steady_unsync,
+        beacons_sent=10, beacons_heard=30, power_loss_resets=1,
+        source="generated-suite",
+        families=(
+            GroupStats(name="fork-join", nodes=3, mean_power_uw=82.25,
+                       mean_floor_mhz=1.52, repairs=2,
+                       steady_sync=steady),
+            GroupStats(name="pipeline", nodes=1, mean_power_uw=66.0,
+                       mean_floor_mhz=0.98, repairs=0,
+                       steady_sync=SyncError()),
+        ),
+        policies=(
+            GroupStats(name="balanced", nodes=4, mean_power_uw=78.2,
+                       mean_floor_mhz=1.38, repairs=2,
+                       steady_sync=steady),
+        ))
+    result = FleetResult(
+        summary=summary, nodes=(), elapsed_s=2.0,
+        nodes_per_second=2.0, workers=1, shards=1, mode="serial")
+    return NetReport(scenario=summary.scenario, result=result)
+
+
+def test_render_net_heterogeneous_breakdown_golden():
+    """Suite-backed fleets append the per-family/per-policy blocks."""
+    expected = dedent("""\
+        Network: gen:dense-ward:7:12:balanced (4 nodes, 5 s, 1 worker(s), serial)
+          Metric                       no sync        ftsp
+          ----------------------------------------------
+          Mean node power (uW)           100.0       100.0
+          Radio power (uW)                2.50        2.50
+          Beacons sent                      10          10
+          Beacons heard                     30          30
+          Power-loss resets                  1           1
+          Sync err mean (ms)             40.00        4.00
+          Sync err RMS (ms)              50.00        5.00
+          Steady err mean (ms)           30.00        2.00
+          Steady err max (ms)            60.00        4.00
+          steady-state error reduced 15.0x by ftsp
+          per-family breakdown (nodes, floor MHz, power uW, steady err ms):
+            fork-join        3    1.52    82.2    2.10
+            pipeline         1    0.98    66.0    0.00
+          per-policy breakdown (nodes, floor MHz, power uW, steady err ms):
+            balanced         4    1.38    78.2    2.10
+          throughput: 2.0 nodes/s (2.00 s)""")
+    assert render_net(_heterogeneous_net_fixture()) == expected
+
+
 def _gen_fixture() -> GenReport:
     ok = ExplorationRecord(
         app="G00-pipeline", token="pipeline:7:0", family="pipeline",
@@ -144,9 +203,9 @@ def test_render_gen_golden():
           G02-fan-in        fan-in      paper         rejected       -     -     -       -      -     -
           placements: 1 ok, 1 repaired, 1 rejected
           power across placed points: 41.3-55.0 uW
-          per-policy power (uW), placed points:
-            paper            1 placed, 1 rejected   p50 41.3  p90 41.3  max 41.3
-            balanced         1 placed, 0 rejected   p50 55.0  p90 55.0  max 55.0""")
+          per-policy placements and power (uW):
+            paper            1 placed  reject  50.0%  repair   0.0%   p50 41.3  p90 41.3  max 41.3
+            balanced         1 placed  reject   0.0%  repair 100.0%   p50 55.0  p90 55.0  max 55.0""")
     assert render_gen(_gen_fixture()) == expected
 
 

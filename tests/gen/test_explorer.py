@@ -15,6 +15,8 @@ from repro.gen.explorer import (
     STATUS_OK,
     STATUS_REJECTED,
     STATUS_REPAIRED,
+    ExplorationRecord,
+    policy_rates,
 )
 
 
@@ -111,6 +113,44 @@ def test_evaluate_token_matches_evaluate_app():
     direct = evaluate_app(app, "balanced", duration_s=1.0,
                           token=token, family="pipeline")
     assert by_token == direct
+
+
+def test_policy_rates_standing_metric():
+    """Reject/repair rates aggregate per policy over any record set."""
+    def record(policy, status, repairs=0):
+        return ExplorationRecord(
+            app="A", token="", family="", policy=policy, num_cores=8,
+            status=status, repairs=repairs)
+
+    rates = policy_rates([
+        record("paper", STATUS_OK),
+        record("paper", STATUS_REJECTED),
+        record("paper", STATUS_REPAIRED, repairs=2),
+        record("balanced", STATUS_OK),
+    ])
+    assert list(rates) == ["paper", "balanced"]  # first-seen order
+    paper = rates["paper"]
+    assert paper["points"] == 3
+    assert paper["rejected"] == 1 and paper["repaired"] == 1
+    assert paper["replicas_trimmed"] == 2
+    assert paper["reject_rate"] == pytest.approx(1 / 3)
+    assert paper["repair_rate"] == pytest.approx(1 / 3)
+    balanced = rates["balanced"]
+    assert balanced["reject_rate"] == 0.0
+    assert balanced["repair_rate"] == 0.0
+    assert policy_rates([]) == {}
+
+
+def test_policy_rates_cover_real_explorations():
+    tokens = suite_tokens(5, 2)
+    records = explore(tokens, policies=("paper", "balanced"),
+                      duration_s=1.0)
+    rates = policy_rates(records)
+    assert set(rates) == {"paper", "balanced"}
+    for entry in rates.values():
+        assert entry["points"] == 2
+        assert entry["ok"] + entry["repaired"] + entry["rejected"] == 2
+        assert 0.0 <= entry["reject_rate"] <= 1.0
 
 
 def test_explore_is_app_major_and_validates_policies():

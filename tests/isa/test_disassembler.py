@@ -88,9 +88,10 @@ def test_disassemble_reassemble_round_trip(instr):
     offset.
     """
     if OP_TABLE[instr.op].fmt is Format.B and instr.imm < -1:
-        # a branch at address 0 cannot target a negative address
+        # a branch at address 0 cannot target a negative address;
+        # clamp -(-2048) to the signed 12-bit maximum
         instr = Instruction(instr.op, ra=instr.ra, rb=instr.rb,
-                            imm=-instr.imm)
+                            imm=min(-instr.imm, 2047))
     line = _reassemble_line(instr)
     image = assemble(f"main: {line}\n halt")
     word = image.im[image.symbols["main"]]

@@ -8,9 +8,10 @@ from repro.net.node import APPS, build_node
 from repro.net.scenarios import SCENARIOS, Scenario, get_scenario
 
 
-def test_registry_holds_the_three_presets():
+def test_registry_holds_the_presets():
     assert set(SCENARIOS) == {"dense-ward", "drifting-wearables",
-                              "intermittent-harvesting"}
+                              "intermittent-harvesting",
+                              "generated-swarm", "mixed-clinic"}
     for scenario in SCENARIOS.values():
         assert isinstance(scenario, Scenario)
         assert scenario.default_nodes > 0
@@ -18,6 +19,11 @@ def test_registry_holds_the_three_presets():
         for app_name, weight in scenario.app_mix:
             assert app_name in APPS
             assert weight > 0
+    # the benchmark presets still expose their mix through app_mix
+    assert SCENARIOS["dense-ward"].app_mix == \
+        (("3L-MF", 2.0), ("3L-MMD", 1.0))
+    # heterogeneous sources have no fixed benchmark mix
+    assert SCENARIOS["generated-swarm"].app_mix == ()
 
 
 def test_get_scenario_protocol_override_does_not_mutate_preset():

@@ -11,6 +11,7 @@ from repro.sweep import (
     SweepSpec,
     bench_payload,
     merge_bench,
+    percentile_axes,
     run_bench,
     run_sweep,
     sweep_rows,
@@ -50,6 +51,46 @@ def test_bench_payload_schema_fields():
     }
     # the document must be JSON-serialisable as-is
     json.dumps(payload)
+
+
+def test_bench_payload_percentile_axes():
+    """Per-campaign aggregate blocks cover the headline metrics."""
+    result = _result()
+    payload = bench_payload(result)
+    axes = payload["aggregates"]
+    assert axes == percentile_axes(result)
+    assert "power_uw" in axes and "clock_mhz" in axes
+    block = axes["power_uw"]
+    assert set(block) == {"count", "min", "p50", "p90", "max", "mean"}
+    assert block["count"] == 2
+    assert block["min"] <= block["p50"] <= block["p90"] <= block["max"]
+    values = sorted(point.metrics["power_uw"]
+                    for point in result.results)
+    assert block["min"] == values[0] and block["max"] == values[-1]
+    # non-numeric headline metrics (e.g. gen's `status`) are skipped
+    json.dumps(axes)
+
+
+def test_percentile_axes_skip_absent_and_non_numeric_metrics():
+    from repro.sweep.engine import PointResult, SweepResult
+
+    spec = SweepSpec(name="t", runner="gen",
+                     axes=(("policy", ("paper",)),))
+    results = (
+        PointResult(index=0, point={"policy": "paper"}, key="k0",
+                    metrics={"status": "ok", "power_uw": 10.0},
+                    wall_s=0.1, cached=False),
+        PointResult(index=1, point={"policy": "paper"}, key="k1",
+                    metrics={"status": "rejected"},
+                    wall_s=0.1, cached=False),
+    )
+    result = SweepResult(
+        spec=spec, results=results, elapsed_s=0.2, cache_hits=0,
+        cache_misses=2, workers=1, shards=1, mode="serial",
+        fingerprint="")
+    axes = percentile_axes(result)
+    assert "status" not in axes  # strings never aggregate
+    assert axes["power_uw"]["count"] == 1  # absent values skipped
 
 
 def test_write_bench_json(tmp_path):
