@@ -69,11 +69,31 @@ def check(
                 f"{name}: {measured:.1f} sim-s/s < {allowed:.1f} "
                 f"(baseline {floor:.1f}, tolerance {tolerance:.0%})"
             )
+    # Speedup floors are hard requirements (the oracle bench must
+    # score >= 100x more candidates per wall-second than exact
+    # simulate()), so no tolerance is applied.
+    for name, floor in sorted(baseline.get("speedup", {}).items()):
+        payload = benches.get(name)
+        if payload is None:
+            failures.append(f"{name}: missing from BENCH_all.json")
+            continue
+        measured = payload.get("speedup", 0.0)
+        if measured < floor:
+            failures.append(
+                f"{name}: speedup {measured:.0f}x < required "
+                f"{floor:.0f}x"
+            )
     return failures
 
 
 def update_baseline(merged: dict) -> dict:
-    """A fresh baseline document derived from a measured run."""
+    """A fresh baseline document derived from a measured run.
+
+    Throughput floors are measured-with-margin; speedup floors are
+    the fixed 100x requirement of the oracle bench, not
+    machine-derived.
+    """
+    benches = merged.get("benches", {})
     return {
         "schema": "repro-bench-baseline/1",
         "note": (
@@ -82,7 +102,12 @@ def update_baseline(merged: dict) -> dict:
         ),
         "sim_s_per_s": {
             name: round(payload["sim_s_per_s"] * UPDATE_MARGIN, 3)
-            for name, payload in sorted(merged.get("benches", {}).items())
+            for name, payload in sorted(benches.items())
+        },
+        "speedup": {
+            name: 100.0
+            for name, payload in sorted(benches.items())
+            if "speedup" in payload
         },
     }
 

@@ -2,7 +2,11 @@
 
 Replays every campaign in :data:`repro.sweep.specs.BENCH_SPECS`,
 writes one ``BENCH_<name>.json`` per bench plus the merged
-``BENCH_all.json`` the CI regression gate consumes.
+``BENCH_all.json`` the CI regression gate consumes.  The ``oracle``
+bench (``benchmarks/bench_oracle.py``) is not a sweep campaign — it
+hand-times analytic vs exact scoring — but it emits the same schema
+keys, so it rides in the merged document and the regression gate
+alongside the others.
 
 Run with::
 
@@ -10,9 +14,14 @@ Run with::
 """
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.sweep import BENCH_SPECS, ResultCache, run_all_benches
+from repro.sweep.artifacts import merge_bench
+
+import bench_oracle
 
 
 def main(argv=None) -> int:
@@ -47,7 +56,7 @@ def main(argv=None) -> int:
         nargs="*",
         default=None,
         metavar="NAME",
-        choices=sorted(BENCH_SPECS),
+        choices=sorted([*BENCH_SPECS, "oracle"]),
         help="run only these benches (default: all)",
     )
     args = parser.parse_args(argv)
@@ -56,14 +65,35 @@ def main(argv=None) -> int:
         if args.cache_dir is not None and not args.no_cache
         else None
     )
+    run_oracle = args.only is None or "oracle" in args.only
+    sweep_names = (
+        None
+        if args.only is None
+        else tuple(name for name in args.only if name != "oracle")
+    )
     merged, path = run_all_benches(
         out_dir=args.out_dir,
         workers=args.workers,
-        names=tuple(args.only) if args.only else None,
+        names=sweep_names,
         cache=cache,
         use_cache=not args.no_cache,
         force=args.force,
     )
+    if run_oracle:
+        payload = bench_oracle.measure()
+        oracle_path = Path(args.out_dir) / "BENCH_oracle.json"
+        oracle_path.parent.mkdir(parents=True, exist_ok=True)
+        oracle_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        benches = dict(merged["benches"])
+        benches["oracle"] = payload
+        merged = merge_bench(benches)
+        path.write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     for name, payload in merged["benches"].items():
         print(
             f"  {name:<10} {payload['points']:3d} point(s)  "

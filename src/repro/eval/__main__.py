@@ -74,7 +74,10 @@ from .searchexp import (
     SEARCH_COST,
     SEARCH_COUNT,
     SEARCH_DURATION_S,
+    SEARCH_ORACLES,
+    SEARCH_SCREEN_BUDGET,
     SEARCH_SEED,
+    SEARCH_TOP_K,
     run_search,
     write_search_json,
 )
@@ -258,8 +261,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="provisioned platform width (default: 8)")
     _add_duration(search, f"{SEARCH_DURATION_S:g} s per oracle call")
     search.add_argument(
+        "--oracle", choices=list(SEARCH_ORACLES), default="exact",
+        help="evaluation mode: exact simulates every proposal, "
+             "two-tier screens analytically and simulates only the "
+             "top-k survivors (default: exact)")
+    search.add_argument(
+        "--top-k", type=int, default=SEARCH_TOP_K, metavar="K",
+        help="exact verifications per two-tier walk "
+             f"(default: {SEARCH_TOP_K})")
+    search.add_argument(
+        "--screen-budget", type=int, default=SEARCH_SCREEN_BUDGET,
+        metavar="N",
+        help="analytic proposals per two-tier walk "
+             f"(default: {SEARCH_SCREEN_BUDGET})")
+    search.add_argument(
         "--json", default=None, metavar="PATH",
-        help="write the deterministic repro-search/1 artifact here")
+        help="write the deterministic repro-search/1 artifact here "
+             "(repro-search/2 with --oracle two-tier)")
     return parser
 
 
@@ -319,7 +337,10 @@ def main(argv: list[str] | None = None) -> int:
             iterations=args.iterations,
             num_cores=args.cores,
             duration_s=args.duration if args.duration is not None
-            else SEARCH_DURATION_S)
+            else SEARCH_DURATION_S,
+            oracle=args.oracle,
+            top_k=args.top_k,
+            screen_budget=args.screen_budget)
         if args.json is not None:
             write_search_json(report, args.json)
         print(render_search(report))

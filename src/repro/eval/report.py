@@ -458,6 +458,21 @@ def render_search(report: SearchReport, max_rows: int = 48) -> str:
             f"p50 {gaps['p50'] * 100:.2f} %, "
             f"p90 {gaps['p90'] * 100:.2f} %, "
             f"max {gaps['max'] * 100:.2f} %")
+    if report.oracle == "two-tier":
+        screen = report.screen_summary()
+        lines.append(
+            f"  oracle: two-tier, {report.screen_budget} analytic "
+            f"proposal(s)/walk, top-{report.top_k} exact-verified")
+        lines.append(
+            f"  screening: {screen['screened']} candidate(s) screened, "
+            f"{screen['simulated']} simulated, agreement "
+            f"{screen['agreed']}/{screen['placed']}")
+        errors = (report.calibration or {}).get("errors", {})
+        if errors.get("count"):
+            lines.append(
+                f"  calibration over {errors['count']} sample(s): "
+                f"rel err p50 {errors['p50']:.1e}, "
+                f"p90 {errors['p90']:.1e}, max {errors['max']:.1e}")
     return "\n".join(lines)
 
 

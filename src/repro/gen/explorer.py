@@ -38,6 +38,10 @@ STATUS_OK = "ok"
 STATUS_REPAIRED = "repaired"
 STATUS_REJECTED = "rejected"
 
+#: Outcome of candidates the analytic screen scored but never
+#: simulated (see :func:`screen_policies`).
+STATUS_SCREENED = "screened"
+
 
 @dataclass(frozen=True)
 class ExplorationRecord:
@@ -49,7 +53,9 @@ class ExplorationRecord:
         family: topology family (empty for literal apps).
         policy: mapping policy applied.
         num_cores: provisioned platform width.
-        status: ``ok`` / ``repaired`` / ``rejected``.
+        status: ``ok`` / ``repaired`` / ``rejected``, or
+            ``screened`` for analytic-only records (never simulated;
+            ``simulated_s`` stays 0).
         repairs: replicas trimmed to fit the platform.
         error: placement error text (rejected points only).
         required_mhz: clock requirement before the platform floor.
@@ -180,6 +186,113 @@ def evaluate_app(app: AppSpec, policy_name: str, num_cores: int = 8,
     )
 
 
+def screen_policies(app: AppSpec,
+                    policies: tuple[str, ...] = ("paper", "balanced"),
+                    num_cores: int = 8,
+                    duration_s: float = EXPLORE_DURATION_S,
+                    top_k: int = 1, token: str = "",
+                    family: str = "") -> list[ExplorationRecord]:
+    """Screen one app's policy candidates; simulate only the best.
+
+    Every multicore policy's placement is scored by the vectorised
+    analytic model (:mod:`repro.oracle`) in one batched call; only
+    the ``top_k`` analytically-cheapest candidates pay a full
+    behavioural simulation.  The rest come back with analytic
+    figures of merit under ``status == "screened"`` (and
+    ``simulated_s == 0``).  Single-core policies cannot be screened
+    (the model covers the multicore engine) and fall through to the
+    exact :func:`evaluate_app`.
+
+    Args:
+        app: the application to place.
+        policies: mapping-policy names to rank.
+        num_cores: provisioned platform width.
+        duration_s: simulated seconds per *exact* point.
+        top_k: candidates promoted to exact simulation.
+        token: regeneration token recorded in the records.
+        family: topology family recorded in the records.
+
+    Returns:
+        One record per policy, in ``policies`` order.
+
+    Raises:
+        ValueError: unknown policy or ``top_k`` < 1.
+    """
+    from ..oracle import AnalyticModel, keep_top_k
+    from ..search.space import candidate_from_plan
+
+    if top_k < 1:
+        raise ValueError(f"top-k must be >= 1, got {top_k}")
+    repaired, repairs = repair_app(app, num_cores)
+    base = dict(app=app.name, token=token, family=family,
+                num_cores=num_cores)
+    records: dict[str, ExplorationRecord] = {}
+    feasible: list[tuple[str, object]] = []
+    for name in policies:
+        policy = get_policy(name)
+        if not policy.multicore:
+            records[name] = evaluate_app(
+                app, name, num_cores=num_cores, duration_s=duration_s,
+                token=token, family=family)
+            continue
+        try:
+            plan = policy.map(repaired, num_cores)
+        except MappingError as exc:
+            records[name] = ExplorationRecord(
+                **base, policy=name, status=STATUS_REJECTED,
+                repairs=repairs, error=str(exc))
+            continue
+        feasible.append((name, candidate_from_plan(plan)))
+    if feasible:
+        model = AnalyticModel(repaired, num_cores=num_cores,
+                              kind="power", duration_s=duration_s)
+        scores = model.score([candidate for _, candidate in feasible])
+        kept = set(keep_top_k(scores.cost, top_k))
+        for index, (name, _) in enumerate(feasible):
+            if index in kept:
+                records[name] = evaluate_app(
+                    app, name, num_cores=num_cores,
+                    duration_s=duration_s, token=token, family=family)
+                continue
+            metrics = scores.metrics(index)
+            records[name] = ExplorationRecord(
+                **base, policy=name, status=STATUS_SCREENED,
+                repairs=repairs,
+                required_mhz=metrics["required_mhz"],
+                clock_mhz=metrics["clock_mhz"],
+                voltage=metrics["voltage"],
+                power_uw=metrics["power_uw"],
+                duty_cycle=metrics["duty_cycle"],
+                sync_overhead=metrics["sync_overhead"],
+                code_overhead=metrics["code_overhead"],
+                active_cores=metrics["active_cores"],
+                im_banks=metrics["im_banks"],
+                simulated_s=0.0)
+    return [records[name] for name in policies]
+
+
+def screen_tokens(tokens: list[str],
+                  policies: tuple[str, ...] = ("paper", "balanced"),
+                  num_cores: int = 8,
+                  duration_s: float = EXPLORE_DURATION_S,
+                  top_k: int = 1) -> list[ExplorationRecord]:
+    """:func:`screen_policies` over a token suite, app-major order.
+
+    Raises:
+        ValueError: unknown policy, malformed token, or bad top-k.
+    """
+    for name in policies:
+        get_policy(name)  # fail fast before any scoring
+    records: list[ExplorationRecord] = []
+    for token in tokens:
+        family, _, _ = parse_app_token(token)
+        app = app_from_token(token)
+        records.extend(screen_policies(
+            app, policies, num_cores=num_cores, duration_s=duration_s,
+            top_k=top_k, token=token, family=family))
+    return records
+
+
 def policy_rates(records: list[ExplorationRecord]
                  ) -> dict[str, dict[str, float | int]]:
     """Per-policy placement-outcome rates — the standing metric.
@@ -192,15 +305,17 @@ def policy_rates(records: list[ExplorationRecord]
 
     Returns:
         ``{policy: {"points", "ok", "repaired", "rejected",
-        "replicas_trimmed", "repair_rate", "reject_rate"}}`` in
-        first-seen policy order.  Rates are fractions of the policy's
-        points (0.0 when the policy saw no points).
+        "screened", "replicas_trimmed", "repair_rate",
+        "reject_rate"}}`` in first-seen policy order.  Rates are
+        fractions of the policy's points (0.0 when the policy saw no
+        points).
     """
     per: dict[str, dict[str, float | int]] = {}
     for record in records:
         entry = per.setdefault(record.policy, {
             "points": 0, STATUS_OK: 0, STATUS_REPAIRED: 0,
-            STATUS_REJECTED: 0, "replicas_trimmed": 0})
+            STATUS_REJECTED: 0, STATUS_SCREENED: 0,
+            "replicas_trimmed": 0})
         entry["points"] += 1
         entry[record.status] += 1
         entry["replicas_trimmed"] += record.repairs
@@ -262,9 +377,12 @@ __all__ = [
     "STATUS_OK",
     "STATUS_REJECTED",
     "STATUS_REPAIRED",
+    "STATUS_SCREENED",
     "evaluate_app",
     "evaluate_token",
     "explore",
     "policy_rates",
     "repair_app",
+    "screen_policies",
+    "screen_tokens",
 ]

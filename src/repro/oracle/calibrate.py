@@ -1,0 +1,190 @@
+"""Calibration gate: analytic scores cross-checked against simulate().
+
+The analytic model claims to be a closed-form reduction of the tick
+loop — exact up to float associativity.  This module keeps that claim
+honest: :func:`calibrate` samples placements of a set of applications
+(the policy start points plus seeded mutation walks), scores each
+sample through *both* tiers, and reports the relative-error
+percentiles.  The report is deterministic (seeded sampling, sorted
+aggregation), so it can ride inside byte-stable artifacts, and
+:meth:`CalibrationReport.within` turns it into a pass/fail accuracy
+gate for tests and CI.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..apps.mapping import MappingError
+from ..apps.phases import AppSpec
+from ..eval.aggregates import summary_stats
+from ..gen.explorer import repair_app
+from ..gen.policies import get_policy
+from ..isa.layout import ImGeometry
+from ..search.anneal import START_POLICIES
+from ..search.cost import ORACLE_DURATION_S, get_oracle
+from ..search.space import (
+    Candidate,
+    candidate_from_plan,
+    plan_from_candidate,
+    propose,
+)
+from .model import AnalyticModel
+
+#: Default sampled placements per application.
+CALIBRATE_SAMPLES = 6
+
+#: Relative error the accuracy gate tolerates by default.  The model
+#: is algebraically exact; anything beyond float-accumulation noise
+#: means the reduction drifted from the simulator.
+CALIBRATE_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Accuracy of the analytic tier against the exact tier.
+
+    Attributes:
+        kind: cost kind both tiers scored.
+        duration_s: simulated seconds per exact evaluation.
+        num_cores: provisioned platform width.
+        apps: applications sampled.
+        samples: total (analytic, exact) score pairs compared.
+        errors: percentile summary of the relative errors
+            ``|analytic - exact| / exact`` (see
+            :func:`repro.eval.aggregates.summary_stats`).
+    """
+
+    kind: str
+    duration_s: float
+    num_cores: int
+    apps: int
+    samples: int
+    errors: dict[str, float]
+
+    def within(self, tolerance: float = CALIBRATE_TOLERANCE) -> bool:
+        """The accuracy gate: worst relative error under tolerance."""
+        if not self.samples:
+            return False
+        return self.errors["max"] <= tolerance
+
+
+def sample_candidates(app: AppSpec, num_cores: int = 8,
+                      samples: int = CALIBRATE_SAMPLES, seed: int = 0,
+                      geometry: ImGeometry | None = None
+                      ) -> list[Candidate]:
+    """Sampled placements of one (already repaired) application.
+
+    The policy start points come first (deduplicated, policy order),
+    then seeded mutation walks extend the set until ``samples``
+    distinct candidates exist (or the walk stalls).  Deterministic in
+    ``(app identity, parameters, seed)``.
+    """
+    geom = geometry or ImGeometry()
+    found: list[Candidate] = []
+    seen: set[Candidate] = set()
+    for name in START_POLICIES:
+        try:
+            plan = get_policy(name).map(app, num_cores, geom)
+        except MappingError:
+            continue
+        candidate = candidate_from_plan(plan)
+        if candidate not in seen:
+            seen.add(candidate)
+            found.append(candidate)
+    if not found:
+        return []
+    rng = random.Random(seed)
+    current = found[0]
+    stalls = 0
+    while len(found) < samples and stalls < 64:
+        neighbour = propose(app, current, rng, num_cores, geom)
+        if neighbour is None:
+            stalls += 1
+            continue
+        current = neighbour
+        if neighbour in seen:
+            stalls += 1
+            continue
+        stalls = 0
+        seen.add(neighbour)
+        found.append(neighbour)
+    return found[:samples]
+
+
+def calibrate(apps: Sequence[AppSpec], kind: str = "power",
+              duration_s: float = ORACLE_DURATION_S, num_cores: int = 8,
+              samples: int = CALIBRATE_SAMPLES, seed: int = 0,
+              geometry: ImGeometry | None = None) -> CalibrationReport:
+    """Cross-check analytic scores against ``simulate()`` on samples.
+
+    For every application a small set of placements is sampled
+    (:func:`sample_candidates`), scored by the vectorised analytic
+    model *and* by the exact cost oracle, and the relative errors
+    ``|analytic - exact| / exact`` are aggregated into percentiles.
+    This is the accuracy gate of the two-tier oracle: a report whose
+    :meth:`CalibrationReport.within` fails means the closed-form
+    reduction no longer matches the simulator and screening results
+    cannot be trusted.
+
+    Args:
+        apps: applications to sample (repaired internally when they
+            need more cores than the platform has).
+        kind: cost kind to compare, one of
+            :data:`repro.search.cost.ORACLE_KINDS`.
+        duration_s: simulated seconds per exact evaluation.
+        num_cores: provisioned platform width.
+        samples: sampled placements per application.
+        seed: sampling seed (mixed per app by position).
+        geometry: IM geometry (platform default when omitted).
+
+    Returns:
+        The deterministic calibration report; apps no policy can
+        place contribute no samples.
+
+    Raises:
+        ValueError: unknown cost kind or non-positive duration.
+    """
+    oracle = get_oracle(kind, duration_s)
+    errors: list[float] = []
+    sampled_apps = 0
+    for position, app in enumerate(apps):
+        candidate_app, _ = repair_app(app, num_cores)
+        candidates = sample_candidates(
+            candidate_app, num_cores=num_cores, samples=samples,
+            seed=seed + position, geometry=geometry)
+        if not candidates:
+            continue
+        sampled_apps += 1
+        model = AnalyticModel(candidate_app, num_cores=num_cores,
+                              kind=kind, duration_s=duration_s,
+                              geometry=geometry)
+        scores = model.score(candidates)
+        for index, candidate in enumerate(candidates):
+            plan = plan_from_candidate(candidate_app, candidate)
+            exact, _ = oracle.evaluate(candidate_app, plan, num_cores)
+            analytic = float(scores.cost[index])
+            errors.append(abs(analytic - exact) / exact
+                          if exact > 0 else abs(analytic))
+    return CalibrationReport(
+        kind=kind,
+        duration_s=duration_s,
+        num_cores=num_cores,
+        apps=sampled_apps,
+        samples=len(errors),
+        errors=summary_stats(errors),
+    )
+
+
+def calibration_payload(report: CalibrationReport) -> dict:
+    """JSON-ready form of a calibration report (artifact block)."""
+    return {
+        "kind": report.kind,
+        "duration_s": report.duration_s,
+        "num_cores": report.num_cores,
+        "apps": report.apps,
+        "samples": report.samples,
+        "errors": dict(report.errors),
+    }

@@ -1,0 +1,238 @@
+"""Two-tier evaluation: analytic screen, exact verify.
+
+Generalises the search's feasibility pre-filter to *costs*: a whole
+population is ranked by the vectorised analytic model
+(:mod:`repro.oracle.model`), and only the top-k survivors pay a full
+``simulate()`` through the exact :class:`repro.search.cost.CostOracle`.
+The keep policy is pluggable (any callable ``costs -> kept indices``),
+and every call records per-call screen statistics — how many
+candidates were screened, how many were simulated, and whether the
+analytic front-runner agreed with the exact verdict — so consumers
+can report screen/exact agreement instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..apps.mapping import MappingPlan
+from ..apps.phases import AppSpec
+from ..isa.layout import ImGeometry
+from ..search.cost import ORACLE_DURATION_S, CostOracle, get_oracle
+from ..search.space import Candidate, plan_from_candidate
+from .model import AnalyticModel, PopulationScores
+
+#: Default exact verifications per screened population.
+TWO_TIER_TOP_K = 4
+
+#: Default analytic proposal budget of a two-tier search walk (the
+#: analytic tier is ~3 orders of magnitude cheaper than a simulation,
+#: so the walk can afford a 4x budget over the exact default).
+TWO_TIER_SCREEN_BUDGET = 160
+
+
+def keep_top_k(costs: np.ndarray, top_k: int) -> list[int]:
+    """The default keep policy: k best candidates, stable on ties."""
+    order = np.argsort(costs, kind="stable")
+    return [int(index) for index in order[:top_k]]
+
+
+#: Named keep policies :func:`get_two_tier` accepts; any callable
+#: ``(costs, top_k) -> kept indices (best first)`` plugs in directly.
+KEEP_POLICIES: dict[str, Callable[[np.ndarray, int], list[int]]] = {
+    "top-k": keep_top_k,
+}
+
+
+@dataclass(frozen=True)
+class ScreenStats:
+    """Per-call statistics of one two-tier evaluation.
+
+    Attributes:
+        screened: candidates scored by the analytic tier.
+        simulated: candidates verified by the exact tier.
+        agreement: True when the analytic front-runner was also the
+            exact best among the survivors.
+    """
+
+    screened: int
+    simulated: int
+    agreement: bool
+
+
+@dataclass(frozen=True)
+class PopulationEvaluation:
+    """Everything one two-tier population evaluation produces.
+
+    Attributes:
+        scores: analytic scores of the whole population.
+        kept: indices that survived the screen (rank order).
+        exact: ``index -> (cost, metrics)`` for the survivors.
+        best_index: survivor with the lowest exact cost (ties break
+            toward the better analytic rank).
+        stats: the call's screen statistics.
+    """
+
+    scores: PopulationScores
+    kept: tuple[int, ...]
+    exact: dict[int, tuple[float, dict]]
+    best_index: int
+    stats: ScreenStats
+
+
+@dataclass
+class TwoTierOracle:
+    """Screen populations analytically; simulate only the survivors.
+
+    Drop-in superset of :class:`repro.search.cost.CostOracle`: it
+    exposes the same :meth:`evaluate` (exact, one plan) so existing
+    consumers keep working, plus the population interface
+    (:meth:`screen` / :meth:`evaluate_population`) and the
+    ``screens`` marker the search driver dispatches on.  Analytic
+    models are cached per ``(application, width)`` so the activity
+    base is computed once per search, not once per candidate.
+
+    Attributes:
+        exact: the exact cost oracle verifying survivors.
+        top_k: survivors verified per screened population.
+        screen_budget: analytic proposal budget consumers should give
+            the screen tier (the two-tier walk's iteration count).
+        keep: the keep policy (``(costs, top_k) -> kept indices``).
+        stats: per-call statistics, append order.
+    """
+
+    exact: CostOracle
+    top_k: int = TWO_TIER_TOP_K
+    screen_budget: int = TWO_TIER_SCREEN_BUDGET
+    keep: Callable[[np.ndarray, int], list[int]] = keep_top_k
+    stats: list[ScreenStats] = field(default_factory=list)
+
+    #: Marker the search driver dispatches on.
+    screens = True
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise ValueError(
+                f"top-k must be >= 1, got {self.top_k}")
+        if self.screen_budget < self.top_k:
+            raise ValueError(
+                f"screen budget must be >= top-k, got "
+                f"{self.screen_budget} < {self.top_k}")
+        self._models: dict[tuple[int, int], AnalyticModel] = {}
+
+    @property
+    def kind(self) -> str:
+        """Cost kind of both tiers."""
+        return self.exact.kind
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated seconds per evaluation of both tiers."""
+        return self.exact.duration_s
+
+    def model_for(self, app: AppSpec, num_cores: int = 8,
+                  geometry: ImGeometry | None = None) -> AnalyticModel:
+        """The (cached) analytic model of one application."""
+        key = (id(app), num_cores)
+        model = self._models.get(key)
+        if model is None:
+            model = AnalyticModel(
+                app, num_cores=num_cores, kind=self.exact.kind,
+                duration_s=self.exact.duration_s, geometry=geometry)
+            self._models[key] = model
+        return model
+
+    def evaluate(self, app: AppSpec, plan: MappingPlan,
+                 num_cores: int = 8) -> tuple[float, dict]:
+        """Exact-tier passthrough (one plan, one full simulation)."""
+        return self.exact.evaluate(app, plan, num_cores)
+
+    def record(self, screened: int, simulated: int,
+               agreement: bool) -> ScreenStats:
+        """Append (and return) one call's screen statistics."""
+        stats = ScreenStats(screened=screened, simulated=simulated,
+                            agreement=agreement)
+        self.stats.append(stats)
+        return stats
+
+    def screen(self, app: AppSpec, candidates: Sequence[Candidate],
+               num_cores: int = 8) -> PopulationScores:
+        """Analytic-tier scores of a whole population (no simulation)."""
+        return self.model_for(app, num_cores).score(candidates)
+
+    def evaluate_population(self, app: AppSpec,
+                            candidates: Sequence[Candidate],
+                            num_cores: int = 8) -> PopulationEvaluation:
+        """Screen a population, then exact-verify the top-k survivors.
+
+        Args:
+            app: the application the candidates place.
+            candidates: feasible candidate mappings.
+            num_cores: provisioned platform width.
+
+        Returns:
+            The population evaluation; ``best_index`` is the
+            exact-verified winner and ``stats`` records the call's
+            screen/simulate counts and screen/exact agreement.
+
+        Raises:
+            ValueError: empty population or a candidate that does not
+                fit the application/platform.
+        """
+        scores = self.screen(app, candidates, num_cores)
+        kept = self.keep(scores.cost, self.top_k)
+        exact: dict[int, tuple[float, dict]] = {}
+        best_index = -1
+        best_cost = float("inf")
+        for index in kept:
+            plan = plan_from_candidate(app, candidates[index])
+            cost, metrics = self.exact.evaluate(app, plan, num_cores)
+            exact[index] = (cost, metrics)
+            if cost < best_cost:
+                best_index, best_cost = index, cost
+        stats = self.record(
+            screened=len(candidates),
+            simulated=len(kept),
+            agreement=bool(kept) and best_index == kept[0],
+        )
+        return PopulationEvaluation(
+            scores=scores,
+            kept=tuple(kept),
+            exact=exact,
+            best_index=best_index,
+            stats=stats,
+        )
+
+
+def get_two_tier(cost: str = "power",
+                 duration_s: float = ORACLE_DURATION_S,
+                 top_k: int = TWO_TIER_TOP_K,
+                 screen_budget: int = TWO_TIER_SCREEN_BUDGET,
+                 keep: str = "top-k") -> TwoTierOracle:
+    """Build a two-tier oracle.
+
+    Args:
+        cost: cost kind of both tiers (see
+            :data:`repro.search.cost.ORACLE_KINDS`).
+        duration_s: simulated seconds per evaluation.
+        top_k: exact verifications per screened population.
+        screen_budget: analytic proposal budget of the screen tier.
+        keep: named keep policy in :data:`KEEP_POLICIES`.
+
+    Raises:
+        ValueError: unknown cost kind or keep policy, non-positive
+            duration, ``top_k`` < 1, or ``screen_budget`` < ``top_k``.
+    """
+    if keep not in KEEP_POLICIES:
+        raise ValueError(
+            f"unknown keep policy {keep!r}; choose from "
+            f"{sorted(KEEP_POLICIES)}")
+    return TwoTierOracle(
+        exact=get_oracle(cost, duration_s),
+        top_k=top_k,
+        screen_budget=screen_budget,
+        keep=KEEP_POLICIES[keep],
+    )

@@ -163,3 +163,88 @@ def test_explore_is_app_major_and_validates_policies():
     ]
     with pytest.raises(ValueError):
         explore(tokens, policies=("nope",), duration_s=1.0)
+
+
+def test_screen_policies_simulates_only_the_kept():
+    from repro.gen.explorer import STATUS_SCREENED, screen_tokens
+
+    tokens = suite_tokens(5, 2)
+    records = screen_tokens(tokens, policies=("paper", "balanced"),
+                            duration_s=1.0, top_k=1)
+    assert [(r.token, r.policy) for r in records] == [
+        (tokens[0], "paper"), (tokens[0], "balanced"),
+        (tokens[1], "paper"), (tokens[1], "balanced"),
+    ]
+    for token in tokens:
+        per_app = [r for r in records if r.token == token]
+        placed = [r for r in per_app if r.status != STATUS_REJECTED]
+        screened = [r for r in placed if r.status == STATUS_SCREENED]
+        simulated = [r for r in placed if r.status != STATUS_SCREENED]
+        # top_k=1: at most one feasible candidate pays a simulation.
+        assert len(simulated) <= 1
+        for record in screened:
+            assert record.simulated_s == 0.0
+            assert record.power_uw > 0.0
+        for record in simulated:
+            assert record.simulated_s == 1.0
+
+
+def test_screened_records_match_exact_within_float_noise():
+    from repro.gen.explorer import STATUS_SCREENED, screen_policies
+
+    app = generate_app("pipeline", seed=5, index=0)
+    records = screen_policies(app, policies=("paper", "balanced"),
+                              duration_s=1.0, top_k=1)
+    for record in records:
+        if record.status != STATUS_SCREENED:
+            continue
+        exact = evaluate_app(app, record.policy, duration_s=1.0)
+        assert record.power_uw == pytest.approx(exact.power_uw,
+                                                rel=1e-9)
+        assert record.clock_mhz == pytest.approx(exact.clock_mhz,
+                                                 rel=1e-9)
+        assert record.voltage == exact.voltage
+        assert record.active_cores == exact.active_cores
+        assert record.im_banks == exact.im_banks
+
+
+def test_screen_policies_validates_top_k():
+    from repro.gen.explorer import screen_policies, screen_tokens
+
+    app = generate_app("pipeline", seed=5, index=0)
+    with pytest.raises(ValueError, match="top-k must be >= 1"):
+        screen_policies(app, top_k=0)
+    with pytest.raises(ValueError):
+        screen_tokens(suite_tokens(5, 1), policies=("nope",))
+
+
+def test_screen_policies_falls_back_for_single_core():
+    from repro.gen.explorer import screen_policies
+
+    app = generate_app("pipeline", seed=5, index=0)
+    records = screen_policies(
+        app, policies=("single-core", "paper"), duration_s=1.0,
+        top_k=1)
+    single = records[0]
+    assert single.policy == "single-core"
+    # Single-core points cannot be screened analytically: they pay
+    # the exact simulation regardless of the keep budget.
+    assert single.status != "screened"
+    if single.status != STATUS_REJECTED:
+        assert single.simulated_s == 1.0
+
+
+def test_policy_rates_count_screened_records():
+    from repro.gen.explorer import STATUS_SCREENED, screen_tokens
+
+    records = screen_tokens(suite_tokens(5, 2),
+                            policies=("paper", "balanced"),
+                            duration_s=1.0, top_k=1)
+    rates = policy_rates(records)
+    screened = sum(entry[STATUS_SCREENED] for entry in rates.values())
+    assert screened == sum(
+        1 for r in records if r.status == STATUS_SCREENED)
+    for entry in rates.values():
+        assert entry["points"] == 2
+        assert (entry["ok"] + entry["repaired"] + entry["rejected"]
+                + entry[STATUS_SCREENED]) == 2

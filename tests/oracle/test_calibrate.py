@@ -1,0 +1,71 @@
+"""Calibration gate: the analytic model must track simulate()."""
+
+import pytest
+
+from repro.apps import rp_class, three_lead_mf, three_lead_mmd
+from repro.gen.explorer import repair_app
+from repro.gen.generator import app_from_token, suite_tokens
+from repro.oracle import (
+    CALIBRATE_TOLERANCE,
+    CalibrationReport,
+    calibrate,
+    calibration_payload,
+    sample_candidates,
+)
+from repro.search.cost import ORACLE_KINDS
+
+_BUILTIN = (three_lead_mf, three_lead_mmd, rp_class)
+
+
+@pytest.mark.parametrize("kind", ORACLE_KINDS)
+def test_builtin_apps_calibrate_within_tolerance(kind):
+    apps = [factory() for factory in _BUILTIN]
+    report = calibrate(apps, kind=kind, duration_s=1.0, samples=4)
+    assert report.apps == len(apps)
+    assert report.samples > 0
+    assert report.within()
+    assert report.errors["max"] <= CALIBRATE_TOLERANCE
+
+
+def test_generated_apps_calibrate_within_tolerance():
+    """Triggered phases and replica groups included: still exact."""
+    apps = [app_from_token(token)
+            for token in suite_tokens(seed=2014, count=4)]
+    report = calibrate(apps, kind="power", duration_s=1.0, samples=3)
+    assert report.apps == len(apps)
+    assert report.within()
+
+
+def test_calibrate_is_deterministic():
+    apps = [three_lead_mf()]
+    first = calibrate(apps, duration_s=1.0, samples=4, seed=3)
+    second = calibrate([three_lead_mf()], duration_s=1.0, samples=4,
+                       seed=3)
+    assert first == second
+
+
+def test_sample_candidates_deterministic_and_distinct():
+    app, _ = repair_app(three_lead_mmd(), 8)
+    first = sample_candidates(app, samples=6, seed=9)
+    second = sample_candidates(app, samples=6, seed=9)
+    assert first == second
+    assert len(set(first)) == len(first)
+    assert len(first) <= 6
+
+
+def test_empty_report_fails_the_gate():
+    report = CalibrationReport(kind="power", duration_s=1.0,
+                               num_cores=8, apps=0, samples=0,
+                               errors={})
+    assert not report.within()
+
+
+def test_calibration_payload_shape():
+    report = calibrate([three_lead_mf()], duration_s=1.0, samples=2)
+    payload = calibration_payload(report)
+    assert set(payload) == {"kind", "duration_s", "num_cores", "apps",
+                            "samples", "errors"}
+    assert payload["kind"] == "power"
+    assert payload["samples"] == report.samples
+    for key in ("p50", "p90", "max", "count"):
+        assert key in payload["errors"]

@@ -1,0 +1,142 @@
+"""Two-tier oracle: keep policies, validation, screen statistics,
+and the headline regression — the two-tier search must land on the
+same best mapping as the exact search on the built-in benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import rp_class, three_lead_mf, three_lead_mmd
+from repro.gen.explorer import repair_app
+from repro.oracle import (
+    TWO_TIER_SCREEN_BUDGET,
+    TWO_TIER_TOP_K,
+    TwoTierOracle,
+    get_two_tier,
+    keep_top_k,
+    sample_candidates,
+)
+from repro.search.anneal import search_mapping
+from repro.search.cost import get_oracle
+from repro.search.space import plan_from_candidate
+
+
+def test_keep_top_k_ranks_best_first():
+    costs = np.array([5.0, 1.0, 3.0, 2.0])
+    assert keep_top_k(costs, 2) == [1, 3]
+    assert keep_top_k(costs, 10) == [1, 3, 2, 0]
+
+
+def test_keep_top_k_breaks_ties_by_position():
+    costs = np.array([2.0, 1.0, 1.0, 1.0])
+    assert keep_top_k(costs, 2) == [1, 2]
+
+
+def test_validation_rejects_bad_knobs():
+    with pytest.raises(ValueError, match="top-k must be >= 1"):
+        get_two_tier(top_k=0)
+    with pytest.raises(ValueError, match="screen budget must be >="):
+        get_two_tier(top_k=5, screen_budget=4)
+    with pytest.raises(ValueError, match="unknown keep policy"):
+        get_two_tier(keep="nope")
+    with pytest.raises(ValueError):
+        get_two_tier(cost="nope")
+
+
+def test_delegates_kind_and_duration_to_exact_tier():
+    oracle = get_two_tier("clock", duration_s=1.5)
+    assert oracle.kind == "clock"
+    assert oracle.duration_s == 1.5
+    assert oracle.screens is True
+
+
+def test_evaluate_is_exact_passthrough():
+    app, _ = repair_app(three_lead_mf(), 8)
+    candidate = sample_candidates(app, samples=1, seed=0)[0]
+    plan = plan_from_candidate(app, candidate)
+    two_tier = get_two_tier("power", duration_s=1.0)
+    exact = get_oracle("power", 1.0)
+    assert two_tier.evaluate(app, plan, 8) == exact.evaluate(app, plan, 8)
+
+
+def test_model_for_caches_per_app_and_width():
+    app, _ = repair_app(three_lead_mf(), 8)
+    oracle = get_two_tier(duration_s=1.0)
+    assert oracle.model_for(app, 8) is oracle.model_for(app, 8)
+    other, _ = repair_app(three_lead_mmd(), 8)
+    assert oracle.model_for(other, 8) is not oracle.model_for(app, 8)
+
+
+def test_evaluate_population_verifies_only_survivors():
+    app, _ = repair_app(three_lead_mmd(), 8)
+    candidates = sample_candidates(app, samples=8, seed=2)
+    oracle = get_two_tier("power", duration_s=1.0, top_k=3,
+                          screen_budget=8)
+    result = oracle.evaluate_population(app, candidates)
+    assert len(result.kept) == 3
+    assert set(result.exact) == set(result.kept)
+    assert result.best_index in result.kept
+    # The winner really is the exact minimum among the survivors.
+    best_cost = result.exact[result.best_index][0]
+    assert best_cost == min(cost for cost, _ in result.exact.values())
+    assert result.stats.screened == len(candidates)
+    assert result.stats.simulated == 3
+    assert oracle.stats == [result.stats]
+
+
+def test_record_appends_stats():
+    oracle = get_two_tier(duration_s=1.0)
+    stats = oracle.record(screened=10, simulated=2, agreement=True)
+    assert stats.screened == 10
+    assert stats.simulated == 2
+    assert stats.agreement is True
+    assert oracle.stats == [stats]
+
+
+def test_custom_keep_policy_plugs_in():
+    app, _ = repair_app(three_lead_mf(), 8)
+    candidates = sample_candidates(app, samples=4, seed=1)
+
+    def keep_worst(costs, top_k):
+        order = np.argsort(costs, kind="stable")
+        return [int(index) for index in order[::-1][:top_k]]
+
+    oracle = TwoTierOracle(exact=get_oracle("power", 1.0), top_k=1,
+                           screen_budget=4, keep=keep_worst)
+    result = oracle.evaluate_population(app, candidates)
+    worst = int(np.argsort(result.scores.cost, kind="stable")[-1])
+    assert result.kept == (worst,)
+
+
+@pytest.mark.parametrize("algorithm", ("anneal", "greedy"))
+@pytest.mark.parametrize(
+    "make_app", (three_lead_mf, three_lead_mmd, rp_class),
+    ids=("3l-mf", "3l-mmd", "rp-class"))
+def test_two_tier_search_matches_exact_best(make_app, algorithm):
+    """The ISSUE acceptance gate: same seed, same best mapping.
+
+    The two-tier walk screens the identical proposal chain with the
+    analytic model and exact-verifies only the top-k, so on the
+    built-in benchmark apps it must land on the exact walk's best
+    candidate at a fraction of the simulations.
+    """
+    app, _ = repair_app(make_app(), 8)
+    exact = search_mapping(app, algorithm=algorithm, seed=7,
+                           iterations=24, duration_s=1.0)
+    oracle = get_two_tier("power", duration_s=1.0, top_k=4,
+                          screen_budget=24)
+    fast = search_mapping(app, algorithm=algorithm, seed=7,
+                          iterations=24, oracle=oracle)
+    assert fast.best_candidate == exact.best_candidate
+    assert fast.best_cost == pytest.approx(exact.best_cost)
+    assert fast.oracle == "two-tier"
+    assert exact.oracle == "exact"
+    # The whole point: far fewer simulations than the exact walk.
+    assert fast.evaluations < exact.evaluations
+    assert fast.screened > 0
+    assert fast.top_k == 4
+
+
+def test_defaults_are_sane():
+    assert TWO_TIER_TOP_K >= 1
+    assert TWO_TIER_SCREEN_BUDGET >= TWO_TIER_TOP_K

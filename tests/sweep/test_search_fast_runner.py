@@ -1,0 +1,104 @@
+"""The search-fast (two-tier) run family through the sweep engine."""
+
+import pytest
+
+from repro.sweep import (
+    ResultCache,
+    RunnerError,
+    SPECS,
+    SweepSpec,
+    expand,
+    generated_app_axis,
+    get_runner,
+    run_sweep,
+)
+
+#: A tiny two-tier campaign: 2 apps x 2 algorithms, small budgets.
+TINY = SweepSpec(
+    name="search-fast-tiny",
+    runner="search-fast",
+    axes=(
+        generated_app_axis(seed=23, count=2),
+        ("algorithm", ("greedy", "anneal")),
+    ),
+    base=(
+        ("screen_budget", 10),
+        ("top_k", 2),
+        ("duration_s", 1.0),
+        ("num_cores", 8),
+        ("seed", 23),
+    ),
+)
+
+
+def test_search_fast_sweep_executes_and_caches(tmp_path):
+    cache = ResultCache(root=tmp_path, fingerprint="f1")
+    cold = run_sweep(TINY, cache=cache)
+    assert cold.n_points == 4
+    assert cold.cache_misses == 4
+    for point in cold.results:
+        assert point.metrics["status"] in ("ok", "repaired", "rejected")
+        if point.metrics["status"] != "rejected":
+            assert point.metrics["gap"] >= 0.0
+            assert point.metrics["top_k"] == 2
+            assert point.metrics["screened"] > 0
+            # The fast family's whole point: exact simulations stay
+            # bounded by the verify set, not the walk length.
+            assert point.metrics["evaluations"] <= 2 + 2
+            assert point.metrics["simulated_s"] == \
+                point.metrics["evaluations"] * 1.0
+    warm = run_sweep(TINY, cache=cache)
+    assert warm.cache_hits == 4 and warm.cache_misses == 0
+    for before, after in zip(cold.results, warm.results):
+        assert before.metrics == after.metrics
+
+
+def test_search_fast_parallel_matches_serial():
+    serial = run_sweep(TINY, use_cache=False)
+    parallel = run_sweep(TINY, use_cache=False, workers=2)
+    for a, b in zip(serial.results, parallel.results):
+        assert a.metrics == b.metrics
+
+
+def test_search_fast_matches_exact_runner_best():
+    """Same point, same seed: the two families agree on the best."""
+    point = {"gen_app": "pipeline:23:0", "algorithm": "greedy",
+             "iterations": 10, "duration_s": 1.0, "seed": 23}
+    exact = get_runner("search")(dict(point))
+    fast_point = {"gen_app": "pipeline:23:0", "algorithm": "greedy",
+                  "screen_budget": 10, "top_k": 4, "duration_s": 1.0,
+                  "seed": 23}
+    fast = get_runner("search-fast")(fast_point)
+    assert fast["best_cost"] == pytest.approx(exact["best_cost"])
+    assert fast["evaluations"] < exact["evaluations"]
+
+
+def test_search_fast_runner_derives_stable_seed_when_omitted():
+    runner = get_runner("search-fast")
+    point = {"gen_app": "pipeline:23:0", "algorithm": "greedy",
+             "screen_budget": 6, "top_k": 2, "duration_s": 1.0}
+    first = runner(dict(point))
+    second = runner(dict(point))
+    assert first == second
+    assert first["seed"] == second["seed"]
+
+
+def test_search_fast_runner_rejects_bad_parameters():
+    runner = get_runner("search-fast")
+    with pytest.raises(RunnerError):
+        runner({"gen_app": "nope:1:2"})
+    with pytest.raises(RunnerError):
+        runner({"gen_app": "pipeline:1:0", "algorithm": "nope"})
+    with pytest.raises(RunnerError):
+        runner({"gen_app": "pipeline:1:0", "top_k": 0})
+    with pytest.raises(RunnerError):
+        runner({"gen_app": "pipeline:1:0", "top_k": 5,
+                "screen_budget": 4})
+
+
+def test_builtin_search_fast_spec_is_registered():
+    spec = SPECS["search-fast"]
+    assert spec.runner == "search-fast"
+    assert spec.axis_names == ("gen_app", "algorithm")
+    points = expand(spec)
+    assert len(points) == 8  # 4 generated apps x 2 algorithms
