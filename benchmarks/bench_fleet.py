@@ -12,15 +12,26 @@ of the pluggable app-source seam) and is gated by the same
 ``check_regression.py`` baseline as the homogeneous fleets, via the
 ``fleet-gen`` campaign.
 
+The ``--mega`` mode exercises the streaming executor instead: it
+runs the same two-tier hierarchy at two sizes (~6k and ~100k nodes)
+and records peak RSS after each.  An executor that held per-node
+results would grow ~16x between the runs; the bounded one barely
+moves, and the regression gate pins both the nodes/second floor and
+the RSS ceiling from the emitted payload.
+
 Run with::
 
     pytest benchmarks/bench_fleet.py --benchmark-only
     python benchmarks/bench_fleet.py      # emit BENCH_fleet.json
                                           # and BENCH_fleet-gen.json
+    python benchmarks/bench_fleet.py --mega   # BENCH_fleet-mega.json
 """
 
+import argparse
+import json
 import os
 import sys
+from pathlib import Path
 
 import pytest
 
@@ -28,6 +39,8 @@ sys.path.insert(0, os.path.dirname(__file__))  # plain-script runs
 from conftest import BENCH_DURATION_S  # noqa: E402
 
 from repro.net.fleet import run_fleet  # noqa: E402
+from repro.net.streaming import run_streaming  # noqa: E402
+from repro.sweep import BENCH_SCHEMA  # noqa: E402
 
 #: Fleet size of the throughput benchmark.
 BENCH_NODES = 64
@@ -92,11 +105,98 @@ def test_fleet_generated_parallel_matches_serial(benchmark):
     print(f"\ngenerated x4: {result.nodes_per_second:.1f} nodes/s")
 
 
+#: Hierarchy preset of the mega benchmark (~100k nodes, two tiers).
+MEGA_TIERS = "mega-campus"
+
+#: Same shape at 1/16th the subtrees (~6k nodes): the small leg of
+#: the bounded-memory comparison.
+MEGA_SMALL_TIERS = "tiers:ftsp@10x20~0.5/rbs@2x320:dense-ward"
+
+#: Simulated seconds per node of the mega benchmark (the hierarchy
+#: multiplies per-node work by ~100k).
+MEGA_DURATION_S = 2.0
+
+
+def measure_mega() -> dict:
+    """Hand-timed streaming mega-fleet; returns the BENCH payload.
+
+    Runs the small hierarchy first, then the ~16x larger one, and
+    records the process peak RSS after each.  ``rss_growth_mb`` is
+    the high-water delta the big run added: near zero for the
+    bounded streaming executor, hundreds of MB for anything holding
+    per-node results.  ``nodes_per_s`` is the big run's throughput,
+    which the regression gate holds to a floor.
+    """
+    small = run_streaming(MEGA_SMALL_TIERS,
+                          duration_s=MEGA_DURATION_S, seed=1)
+    big = run_streaming(MEGA_TIERS, duration_s=MEGA_DURATION_S,
+                        seed=1)
+    nodes = big.summary.n_nodes + small.summary.n_nodes
+    wall = big.elapsed_s + small.elapsed_s
+    simulated = nodes * MEGA_DURATION_S
+    return {
+        "aggregates": {},
+        "schema": BENCH_SCHEMA,
+        "name": "fleet-mega",
+        "points": 2,
+        "cache": {"hits": 0, "misses": 2},
+        "wall_s": wall,
+        "executed_wall_s": wall,
+        "simulated_s": simulated,
+        "sim_s_per_s": simulated / wall if wall > 0 else 0.0,
+        "workers": 1,
+        "mode": "streaming",
+        "results": [],
+        "tiers": big.token,
+        "duration_s": MEGA_DURATION_S,
+        "wave_size": big.wave_size,
+        "n_nodes": big.summary.n_nodes,
+        "small_nodes": small.summary.n_nodes,
+        "nodes_per_s": big.nodes_per_second,
+        "small_nodes_per_s": small.nodes_per_second,
+        "peak_rss_mb": big.peak_rss_mb,
+        "small_rss_mb": small.peak_rss_mb,
+        "rss_growth_mb": big.peak_rss_mb - small.peak_rss_mb,
+        "scaling_ratio": (big.nodes_per_second
+                          / small.nodes_per_second
+                          if small.nodes_per_second > 0 else 0.0),
+    }
+
+
+def mega_main(argv=None) -> int:
+    """Emit BENCH_fleet-mega.json (throughput + bounded peak RSS)."""
+    parser = argparse.ArgumentParser(
+        description="emit BENCH_fleet-mega.json (streaming mega-fleet "
+                    "throughput and bounded peak RSS)")
+    parser.add_argument(
+        "--out-dir", default=".",
+        help="where to write the artifact (default: cwd)")
+    args = parser.parse_args(argv)
+    payload = measure_mega()
+    path = Path(args.out_dir) / "BENCH_fleet-mega.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(
+        f"BENCH_fleet-mega: {payload['n_nodes']:,} nodes at "
+        f"{payload['nodes_per_s']:,.0f} nodes/s, peak rss "
+        f"{payload['peak_rss_mb']:.0f} MB (+{payload['rss_growth_mb']:.0f}"
+        f" MB over the {payload['small_nodes']:,}-node run, "
+        f"scaling ratio {payload['scaling_ratio']:.2f})")
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv=None) -> int:
-    """Plain-script mode: emit BENCH_fleet.json + BENCH_fleet-gen.json."""
+    """Plain-script mode: emit the fleet BENCH artifacts."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--mega" in args:
+        args.remove("--mega")
+        return mega_main(args)
     from repro.sweep import bench_main
 
-    return bench_main("fleet", argv) or bench_main("fleet-gen", argv)
+    return bench_main("fleet", args) or bench_main("fleet-gen", args)
 
 
 if __name__ == "__main__":

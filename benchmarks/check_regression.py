@@ -3,7 +3,11 @@
 Compares a freshly produced ``BENCH_all.json`` against the checked-in
 baseline (``benchmarks/baseline.json``) and fails when any bench's
 simulated-seconds-per-second throughput regresses by more than the
-tolerance (default 30 %).
+tolerance (default 30 %).  The baseline may also carry ``nodes_per_s``
+floors (tolerance-scaled, for the streaming mega-fleet), ``speedup``
+floors and ``max_rss_mb`` ceilings (both hard bounds — the latter is
+the bounded-memory assertion of the streaming executor).  Benches
+emitted outside ``run_all.py`` join the gate via ``--merge``.
 
 The baseline records *conservative* throughput floors (well below a
 typical developer machine) so the gate only trips on genuine
@@ -38,6 +42,12 @@ DEFAULT_TOLERANCE = 0.30
 #: (CI runners are routinely several times slower than a dev box).
 UPDATE_MARGIN = 0.25
 
+#: Peak-RSS ceiling ``--update`` records for benches that report one.
+#: A fixed requirement, not machine-derived: the ~100k-node streaming
+#: fleet stays a couple dozen MB over interpreter baseline, while
+#: holding per-node results would cost hundreds of MB.
+RSS_CEILING_MB = 256.0
+
 
 def check(
     merged: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
@@ -69,6 +79,18 @@ def check(
                 f"{name}: {measured:.1f} sim-s/s < {allowed:.1f} "
                 f"(baseline {floor:.1f}, tolerance {tolerance:.0%})"
             )
+    for name, floor in sorted(baseline.get("nodes_per_s", {}).items()):
+        payload = benches.get(name)
+        if payload is None:
+            failures.append(f"{name}: missing from BENCH_all.json")
+            continue
+        measured = payload.get("nodes_per_s", 0.0)
+        allowed = floor * (1.0 - tolerance)
+        if measured < allowed:
+            failures.append(
+                f"{name}: {measured:.0f} nodes/s < {allowed:.0f} "
+                f"(baseline {floor:.0f}, tolerance {tolerance:.0%})"
+            )
     # Speedup floors are hard requirements (the oracle bench must
     # score >= 100x more candidates per wall-second than exact
     # simulate()), so no tolerance is applied.
@@ -82,6 +104,20 @@ def check(
             failures.append(
                 f"{name}: speedup {measured:.0f}x < required "
                 f"{floor:.0f}x"
+            )
+    # Peak-RSS ceilings are hard bounds too: the streaming executor's
+    # whole point is memory that does not scale with fleet size, so a
+    # breach means per-node state is accumulating somewhere.
+    for name, ceiling in sorted(baseline.get("max_rss_mb", {}).items()):
+        payload = benches.get(name)
+        if payload is None:
+            failures.append(f"{name}: missing from BENCH_all.json")
+            continue
+        measured = payload.get("peak_rss_mb", 0.0)
+        if measured > ceiling:
+            failures.append(
+                f"{name}: peak RSS {measured:.0f} MB > ceiling "
+                f"{ceiling:.0f} MB (memory no longer bounded)"
             )
     return failures
 
@@ -104,10 +140,20 @@ def update_baseline(merged: dict) -> dict:
             name: round(payload["sim_s_per_s"] * UPDATE_MARGIN, 3)
             for name, payload in sorted(benches.items())
         },
+        "nodes_per_s": {
+            name: round(payload["nodes_per_s"] * UPDATE_MARGIN, 1)
+            for name, payload in sorted(benches.items())
+            if "nodes_per_s" in payload
+        },
         "speedup": {
             name: 100.0
             for name, payload in sorted(benches.items())
             if "speedup" in payload
+        },
+        "max_rss_mb": {
+            name: RSS_CEILING_MB
+            for name, payload in sorted(benches.items())
+            if "peak_rss_mb" in payload
         },
     }
 
@@ -144,6 +190,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the baseline from this run instead of checking",
     )
+    parser.add_argument(
+        "--merge",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="inject extra BENCH_<name>.json payload(s) into the merged "
+        "document before checking (for benches emitted outside "
+        "run_all.py, e.g. the fleet-mega streaming bench); repeatable",
+    )
     args = parser.parse_args(argv)
     if args.baseline_pos is not None and args.baseline_opt is not None:
         parser.error(
@@ -157,6 +212,14 @@ def main(argv=None) -> int:
         baseline_path = DEFAULT_BASELINE
     with open(args.bench, encoding="utf-8") as handle:
         merged = json.load(handle)
+    if args.merge:
+        benches = dict(merged.get("benches", {}))
+        for path in args.merge:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            benches[payload["name"]] = payload
+        merged = dict(merged)
+        merged["benches"] = benches
     if args.update:
         baseline = update_baseline(merged)
         with open(baseline_path, "w", encoding="utf-8") as handle:
@@ -172,9 +235,17 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"  {failure}")
         return 1
-    floors = baseline.get("sim_s_per_s", {})
+    gates = sum(
+        len(baseline.get(section, {}))
+        for section in (
+            "sim_s_per_s",
+            "nodes_per_s",
+            "speedup",
+            "max_rss_mb",
+        )
+    )
     print(
-        f"benchmark regression gate passed ({len(floors)} bench(es), "
+        f"benchmark regression gate passed ({gates} gate(s), "
         f"tolerance {args.tolerance:.0%})"
     )
     return 0

@@ -9,6 +9,8 @@ Usage::
     python -m repro.eval net [--scenario S] [--nodes N] [--workers W]
                              [--suite-seed S --suite-count N
                               --policy P --families F ...] [--json F]
+    python -m repro.eval net --tiers SPEC [--stream] [--wave N]
+                             [--checkpoint-dir D] [--max-waves N]
     python -m repro.eval sweep [--spec NAME | --spec-file F] [--workers W]
     python -m repro.eval gen [--seed S] [--count N] [--policies P ...]
     python -m repro.eval search [--seed S] [--count N] [--algorithm A]
@@ -27,7 +29,9 @@ import json
 from ..gen.policies import POLICIES
 from ..gen.topology import FAMILY_ORDER
 from ..net.fleet import DEFAULT_SEED
+from ..net.hierarchy import HIERARCHIES
 from ..net.scenarios import SCENARIOS
+from ..net.streaming import DEFAULT_WAVE_SUBTREES, run_streaming
 from ..net.timesync import PROTOCOLS
 from ..search import ALGORITHMS, ORACLE_KINDS
 from ..sweep import (
@@ -56,6 +60,7 @@ from .netexp import (
     NET_SUITE_POLICY,
     NET_SUITE_SEED,
     run_net,
+    write_hierarchy_json,
     write_net_json,
 )
 from .report import (
@@ -63,6 +68,7 @@ from .report import (
     render_fig6,
     render_fig7,
     render_gen,
+    render_hierarchy,
     render_net,
     render_search,
     render_sweep,
@@ -170,8 +176,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mapping policy placing every generated app "
              f"(default: {NET_SUITE_POLICY})")
     net.add_argument(
+        "--tiers", default=None, metavar="SPEC",
+        help="run a hierarchical fleet instead: preset name "
+             f"({', '.join(sorted(HIERARCHIES))}) or a "
+             "'tiers:<proto@<period>x<fan>[~<scale>]/...>:<base>' "
+             "token")
+    net.add_argument(
+        "--stream", action="store_true",
+        help="run the hierarchy through the streaming executor in "
+             f"bounded-memory waves (default: "
+             f"{DEFAULT_WAVE_SUBTREES} subtrees/wave)")
+    net.add_argument(
+        "--wave", type=_positive_int, default=None, metavar="N",
+        help="tier-0 subtrees per wave (implies --stream)")
+    net.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist the partial merge after every wave; a rerun "
+             "with the same spec resumes from it (implies --stream)")
+    net.add_argument(
+        "--max-waves", type=_positive_int, default=None, metavar="N",
+        help="stop after N waves - the deterministic kill point the "
+             "resume checks use (implies --stream)")
+    net.add_argument(
         "--json", default=None, metavar="PATH",
-        help="write the deterministic repro-net/1|2 artifact here")
+        help="write the deterministic repro-net/1|2 artifact here "
+             "(repro-net/3 with --tiers; skipped while a --max-waves "
+             "run is incomplete)")
 
     sweep = commands.add_parser(
         "sweep", help="run a declarative sweep campaign (cached)")
@@ -361,6 +391,39 @@ def main(argv: list[str] | None = None) -> int:
             paper_duration)))
     if experiment in ("net", "all"):
         net_duration = NET_DURATION_S if duration is None else duration
+        tiers = getattr(args, "tiers", None)
+        streaming = getattr(args, "stream", False) or any(
+            getattr(args, name, None) is not None
+            for name in ("wave", "checkpoint_dir", "max_waves"))
+        if tiers is None and streaming:
+            parser.error(
+                "--stream/--wave/--checkpoint-dir/--max-waves need "
+                "--tiers")
+        if tiers is not None:
+            flat = [flag for flag, value in (
+                ("--scenario", args.scenario),
+                ("--nodes", args.nodes),
+                ("--protocol", args.protocol),
+                ("--suite-seed", getattr(args, "suite_seed", None)),
+                ("--suite-count", getattr(args, "suite_count", None)),
+                ("--families", getattr(args, "families", None)),
+                ("--policy", getattr(args, "policy", None)),
+            ) if value is not None]
+            if flat:
+                parser.error(
+                    f"--tiers conflicts with {', '.join(flat)}")
+            wave = args.wave if args.wave is not None else (
+                DEFAULT_WAVE_SUBTREES if streaming else None)
+            result = run_streaming(
+                tiers, duration_s=net_duration, seed=args.seed,
+                workers=args.workers, wave_size=wave,
+                checkpoint_dir=args.checkpoint_dir,
+                max_waves=args.max_waves)
+            if args.json is not None and result.completed:
+                write_hierarchy_json(result, args.json)
+            sections.append(render_hierarchy(result))
+            print("\n\n".join(sections))
+            return 0
         net_families = getattr(args, "families", None)
         report = run_net(
             scenario=args.scenario or "drifting-wearables",

@@ -36,16 +36,20 @@ from ..net.fleet import (
 )
 from ..net.node import NodeResult
 from ..net.scenarios import generated_scenario
-from ..net.stats import SyncError, improvement_ratio
+from ..net.stats import SyncError, TierSummary, improvement_ratio
+from ..net.streaming import HierarchyResult
 
 #: Default simulated seconds of the network experiment (the fleet
 #: runner's own default; re-exported under the experiment's name).
 NET_DURATION_S = DEFAULT_DURATION_S
 
 #: Artifact schema tags (v1: benchmark fleets, v2: heterogeneous
-#: fleets with per-node app tokens and group breakdowns).
+#: fleets with per-node app tokens and group breakdowns, v3:
+#: hierarchical fleets with per-tier breakdowns and no per-node
+#: records — mega-fleets never hold them).
 NET_SCHEMA_V1 = "repro-net/1"
 NET_SCHEMA_V2 = "repro-net/2"
+NET_SCHEMA_V3 = "repro-net/3"
 
 #: Suite defaults of the heterogeneous network experiment.
 NET_SUITE_SEED = 7
@@ -205,6 +209,69 @@ def net_payload(report: NetReport) -> dict:
     return payload
 
 
+def hierarchy_improvement(result: HierarchyResult) -> float:
+    """Steady-state mean |error| ratio of a hierarchical run."""
+    summary = result.summary
+    return improvement_ratio(summary.steady_unsync.mean_abs_s,
+                             summary.steady_sync.mean_abs_s)
+
+
+def _tier_entry(tier: TierSummary) -> dict:
+    """The artifact record of one tier (plus its improvement)."""
+    entry = asdict(tier)
+    entry["improvement"] = _json_safe(improvement_ratio(
+        tier.steady_unsync.mean_abs_s, tier.steady_sync.mean_abs_s))
+    return entry
+
+
+def hierarchy_payload(result: HierarchyResult) -> dict:
+    """The deterministic ``repro-net/3`` document of one streaming run.
+
+    A pure function of (spec, seed, duration): wall-clock timing,
+    worker counts, wave sizes and resume bookkeeping are all
+    excluded, so interrupted-then-resumed runs and any worker count
+    emit byte-identical artifacts.  Per-node records are absent by
+    design — hierarchical fleets are sized where holding them is the
+    exact failure mode the streaming executor removes.
+    """
+    summary = result.summary
+    return {
+        "schema": NET_SCHEMA_V3,
+        "scenario": result.token,
+        "protocol": summary.protocol,
+        "seed": result.seed,
+        "n_nodes": summary.n_nodes,
+        "duration_s": summary.duration_s,
+        "subtrees": result.subtrees,
+        "total_power_uw": summary.total_power_uw,
+        "mean_power_uw": summary.mean_power_uw,
+        "mean_radio_uw": summary.mean_radio_uw,
+        "beacons_sent": summary.beacons_sent,
+        "beacons_heard": summary.beacons_heard,
+        "power_loss_resets": summary.power_loss_resets,
+        "source": summary.source,
+        "sync": asdict(summary.sync),
+        "steady_sync": asdict(summary.steady_sync),
+        "unsync": asdict(summary.unsync),
+        "steady_unsync": asdict(summary.steady_unsync),
+        "improvement": _json_safe(hierarchy_improvement(result)),
+        "tiers": [_tier_entry(tier) for tier in result.tiers],
+    }
+
+
+def write_hierarchy_json(result: HierarchyResult,
+                         path: str | Path) -> Path:
+    """Write the hierarchical-fleet artifact; returns its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(hierarchy_payload(result), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
 def write_net_json(report: NetReport, path: str | Path) -> Path:
     """Write the network-experiment artifact; returns its path."""
     path = Path(path)
@@ -220,11 +287,15 @@ __all__ = [
     "NET_DURATION_S",
     "NET_SCHEMA_V1",
     "NET_SCHEMA_V2",
+    "NET_SCHEMA_V3",
     "NET_SUITE_COUNT",
     "NET_SUITE_POLICY",
     "NET_SUITE_SEED",
     "NetReport",
+    "hierarchy_improvement",
+    "hierarchy_payload",
     "net_payload",
     "run_net",
+    "write_hierarchy_json",
     "write_net_json",
 ]

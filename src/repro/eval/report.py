@@ -11,13 +11,14 @@ from typing import TYPE_CHECKING
 
 from ..net.appsource import BENCHMARK_KIND
 from ..net.stats import FleetSummary, SyncError
+from ..net.streaming import HierarchyResult
 from ..power.energy import CATEGORIES
 from .ablations import AblationResult
 from .aggregates import summary_stats
 from .fig6 import Fig6Group
 from .fig7 import Fig7Point
 from .genexp import GenReport
-from .netexp import NetReport
+from .netexp import NetReport, hierarchy_improvement
 from .searchexp import SearchReport
 from .table1 import PAPER_TABLE1, Table1Column
 
@@ -31,6 +32,7 @@ __all__ = [
     "render_fig6",
     "render_fig7",
     "render_gen",
+    "render_hierarchy",
     "render_net",
     "render_search",
     "render_sweep",
@@ -218,6 +220,65 @@ def render_net(report: NetReport) -> str:
     lines.append(
         f"  throughput: {report.result.nodes_per_second:.1f} nodes/s "
         f"({report.result.elapsed_s:.2f} s)")
+    return "\n".join(lines)
+
+
+def render_hierarchy(result: HierarchyResult) -> str:
+    """Render a hierarchical streaming run with per-tier breakdown.
+
+    Reuses the network experiment's row layout (the fleet-wide
+    summary *is* a :class:`FleetSummary`), then adds the per-tier
+    block — each tier's single-hop error next to its effective error
+    against the backbone — and the streaming bookkeeping (waves,
+    resume state, peak RSS).
+    """
+    summary = result.summary
+    lines = [
+        f"Hierarchy: {result.token} "
+        f"({summary.n_nodes} nodes, {len(result.tiers)} tier(s), "
+        f"{summary.duration_s:g} s, {result.workers} worker(s), "
+        f"{result.mode})",
+        "  " + "Metric".ljust(24)
+        + "no sync".rjust(12) + "tiered".rjust(12),
+    ]
+    lines.append("  " + "-" * 46)
+    for label, unsync_path, sync_path, kind in _NET_ROWS:
+        scale = 1e3 if kind == "ms" else 1.0
+        fmt = "f2" if kind == "ms" else kind
+        lines.append(
+            "  " + label.ljust(24)
+            + _fmt(_summary_value(summary, unsync_path) * scale,
+                   fmt).rjust(12)
+            + _fmt(_summary_value(summary, sync_path) * scale,
+                   fmt).rjust(12))
+    lines.append(
+        f"  steady-state error reduced {hierarchy_improvement(result):.1f}x "
+        f"across {len(result.tiers)} hop(s)")
+    lines.append("  per-tier breakdown (nodes, proto, period s, "
+                 "hop err ms, eff err ms):")
+    for tier in result.tiers:
+        lines.append(
+            f"    {tier.name:<12}"
+            f"{tier.nodes:8d}  "
+            f"{tier.protocol:<6}"
+            f"{tier.beacon_period_s:6.1f}"
+            f"{tier.steady_hop_sync.mean_abs_s * 1e3:8.2f}"
+            f"{tier.steady_sync.mean_abs_s * 1e3:8.2f}")
+    if result.resumed_subtrees:
+        lines.append(
+            f"  resumed {result.resumed_subtrees} subtree(s) from "
+            f"checkpoint")
+    if not result.completed:
+        lines.append(
+            f"  partial: {result.subtrees_done}/{result.subtrees} "
+            f"subtree(s) folded - rerun with the same checkpoint dir "
+            f"to finish")
+    lines.append(
+        f"  waves: {result.waves_run}/{result.waves} wave(s) x "
+        f"{result.wave_size} subtree(s)")
+    lines.append(
+        f"  throughput: {result.nodes_per_second:.1f} nodes/s "
+        f"({result.elapsed_s:.2f} s, peak rss {result.peak_rss_mb:.0f} MB)")
     return "\n".join(lines)
 
 

@@ -15,6 +15,10 @@ protocols and a sharded multiprocessing runner:
 * :mod:`repro.net.node` — clock + radio + a mapped ECG application.
 * :mod:`repro.net.fleet` — deterministic serial/parallel execution.
 * :mod:`repro.net.scenarios` — named deployment presets.
+* :mod:`repro.net.hierarchy` — cluster→gateway→backbone tiers with
+  per-tier protocols and error compounding across hops.
+* :mod:`repro.net.streaming` — checkpointed bounded-memory waves for
+  mega-fleets (10k–1M nodes).
 * :mod:`repro.net.stats` — summary dataclasses shared with
   :mod:`repro.eval.report`.
 """
@@ -35,6 +39,19 @@ from .fleet import (
     FleetResult,
     FleetRunner,
     run_fleet,
+)
+from .hierarchy import (
+    BODY_NETWORKS,
+    HIERARCHIES,
+    MEGA_CAMPUS,
+    WARD_CAMPUS,
+    HierarchySpec,
+    Tier,
+    compose_errors,
+    get_hierarchy,
+    hierarchy_token,
+    hop_error_samples,
+    parse_hierarchy,
 )
 from .node import (
     APPS,
@@ -66,7 +83,15 @@ from .scenarios import (
     scenario_token,
     with_protocol,
 )
-from .stats import FleetSummary, GroupStats, SyncError
+from .stats import FleetSummary, GroupStats, SyncError, TierSummary
+from .streaming import (
+    CHECKPOINT_SCHEMA,
+    DEFAULT_WAVE_SUBTREES,
+    HierarchyResult,
+    StreamingConfig,
+    StreamingRunner,
+    run_streaming,
+)
 from .timesync import (
     PROTOCOLS,
     FtspSync,
@@ -80,11 +105,14 @@ __all__ = [
     "APPS",
     "AppBinding",
     "AppSource",
+    "BODY_NETWORKS",
     "Beacon",
     "BenchmarkSource",
+    "CHECKPOINT_SCHEMA",
     "ClockSpec",
     "DEFAULT_DURATION_S",
     "DEFAULT_SEED",
+    "DEFAULT_WAVE_SUBTREES",
     "DENSE_WARD",
     "DRIFTING_WEARABLES",
     "ERROR_SAMPLE_HZ",
@@ -96,8 +124,12 @@ __all__ = [
     "GENERATED_SWARM",
     "GeneratedSuiteSource",
     "GroupStats",
+    "HIERARCHIES",
+    "HierarchyResult",
+    "HierarchySpec",
     "INTERMITTENT_HARVESTING",
     "LocalClock",
+    "MEGA_CAMPUS",
     "MIXED_CLINIC",
     "MixedSource",
     "NetworkNode",
@@ -111,16 +143,27 @@ __all__ = [
     "ReferenceBroadcastSync",
     "SCENARIOS",
     "Scenario",
+    "StreamingConfig",
+    "StreamingRunner",
     "SyncError",
     "SyncProtocol",
+    "Tier",
+    "TierSummary",
+    "WARD_CAMPUS",
     "beacon_schedule",
     "build_node",
+    "compose_errors",
     "generated_scenario",
+    "get_hierarchy",
     "get_scenario",
+    "hierarchy_token",
+    "hop_error_samples",
     "make_protocol",
+    "parse_hierarchy",
     "parse_scenario",
     "receive_beacons",
     "run_fleet",
+    "run_streaming",
     "scenario_token",
     "source_from_mapping",
     "with_protocol",

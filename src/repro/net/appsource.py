@@ -118,12 +118,14 @@ class BenchmarkSource:
             if name not in APPS:
                 raise ValueError(
                     f"unknown benchmark {name!r}; choose from "
-                    f"{sorted(APPS)}")
+                    f"{sorted(APPS)}"
+                )
             if weight <= 0:
                 raise ValueError(f"benchmark {name!r} needs weight > 0")
 
-    def bind(self, rng: random.Random,
-             abnormal_ratio: float = 0.0) -> AppBinding:
+    def bind(
+        self, rng: random.Random, abnormal_ratio: float = 0.0
+    ) -> AppBinding:
         """Draw one benchmark from the mix (one ``choices`` call)."""
         names = [name for name, _ in self.mix]
         weights = [weight for _, weight in self.mix]
@@ -136,14 +138,16 @@ class BenchmarkSource:
 
     def to_mapping(self) -> dict:
         """JSON-ready form (inverse of :func:`source_from_mapping`)."""
-        return {"kind": self.kind,
-                "mix": [[name, weight] for name, weight in self.mix]}
+        return {
+            "kind": self.kind,
+            "mix": [[name, weight] for name, weight in self.mix],
+        }
 
 
 @lru_cache(maxsize=512)
-def _resolve_generated(token: str, policy_name: str,
-                       num_cores: int) -> tuple[AppSpec,
-                                                MappingPlan, int]:
+def _resolve_generated(
+    token: str, policy_name: str, num_cores: int
+) -> tuple[AppSpec, MappingPlan, int]:
     """Regenerate, repair and place one generated app (memoised).
 
     Pure function of its arguments (the search policies seed from the
@@ -204,11 +208,11 @@ class GeneratedSuiteSource:
         """The suite's regeneration tokens."""
         from ..gen.generator import suite_tokens
 
-        return suite_tokens(self.seed, self.count,
-                            self.families or None)
+        return suite_tokens(self.seed, self.count, self.families or None)
 
-    def bind(self, rng: random.Random,
-             abnormal_ratio: float = 0.0) -> AppBinding:
+    def bind(
+        self, rng: random.Random, abnormal_ratio: float = 0.0
+    ) -> AppBinding:
         """Draw one placeable app (one ``randrange`` call).
 
         The node draws a suite index, then advances deterministically
@@ -228,33 +232,49 @@ class GeneratedSuiteSource:
             token = tokens[(start + offset) % self.count]
             try:
                 app, plan, repairs = _resolve_generated(
-                    token, self.policy, self.num_cores)
+                    token, self.policy, self.num_cores
+                )
             except MappingError as exc:
                 errors.append(str(exc))
                 continue
             family, _, _ = parse_app_token(token)
             floor = plan_required_mhz(plan) if plan.multicore else 0.0
             return AppBinding(
-                name=app.name, app=app, token=token, family=family,
-                policy=self.policy, plan=plan, floor_mhz=floor,
-                repairs=repairs, skipped=offset,
-                num_cores=self.num_cores)
+                name=app.name,
+                app=app,
+                token=token,
+                family=family,
+                policy=self.policy,
+                plan=plan,
+                floor_mhz=floor,
+                repairs=repairs,
+                skipped=offset,
+                num_cores=self.num_cores,
+            )
         raise MappingError(
             f"policy {self.policy!r} places no app of suite "
             f"(seed {self.seed}, count {self.count}): "
-            + "; ".join(errors))
+            + "; ".join(errors)
+        )
 
     def describe(self) -> str:
         """One-line human summary."""
         families = "+".join(self.families) if self.families else "all"
-        return (f"generated suite seed {self.seed} x{self.count} "
-                f"({families}) via {self.policy}")
+        return (
+            f"generated suite seed {self.seed} x{self.count} "
+            f"({families}) via {self.policy}"
+        )
 
     def to_mapping(self) -> dict:
         """JSON-ready form (inverse of :func:`source_from_mapping`)."""
-        return {"kind": self.kind, "seed": self.seed,
-                "count": self.count, "families": list(self.families),
-                "policy": self.policy, "num_cores": self.num_cores}
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "count": self.count,
+            "families": list(self.families),
+            "policy": self.policy,
+            "num_cores": self.num_cores,
+        }
 
 
 @dataclass(frozen=True)
@@ -276,12 +296,14 @@ class MixedSource:
         for source, weight in self.parts:
             if not hasattr(source, "bind"):
                 raise ValueError(
-                    f"mixed-source part {source!r} is not an AppSource")
+                    f"mixed-source part {source!r} is not an AppSource"
+                )
             if weight <= 0:
                 raise ValueError("mixed-source parts need weight > 0")
 
-    def bind(self, rng: random.Random,
-             abnormal_ratio: float = 0.0) -> AppBinding:
+    def bind(
+        self, rng: random.Random, abnormal_ratio: float = 0.0
+    ) -> AppBinding:
         """Draw a part, then delegate the app draw to it."""
         sources = [source for source, _ in self.parts]
         weights = [weight for _, weight in self.parts]
@@ -290,14 +312,17 @@ class MixedSource:
 
     def describe(self) -> str:
         """One-line human summary."""
-        return " | ".join(source.describe()
-                          for source, _ in self.parts)
+        return " | ".join(source.describe() for source, _ in self.parts)
 
     def to_mapping(self) -> dict:
         """JSON-ready form (inverse of :func:`source_from_mapping`)."""
-        return {"kind": self.kind,
-                "parts": [[source.to_mapping(), weight]
-                          for source, weight in self.parts]}
+        return {
+            "kind": self.kind,
+            "parts": [
+                [source.to_mapping(), weight]
+                for source, weight in self.parts
+            ],
+        }
 
 
 #: Union type of every source implementation.
@@ -313,21 +338,29 @@ def source_from_mapping(data: dict) -> AppSource:
     kind = data.get("kind")
     if kind == BENCHMARK_KIND:
         return BenchmarkSource(
-            mix=tuple((str(name), float(weight))
-                      for name, weight in data["mix"]))
+            mix=tuple(
+                (str(name), float(weight)) for name, weight in data["mix"]
+            )
+        )
     if kind == GENERATED_KIND:
         return GeneratedSuiteSource(
-            seed=int(data["seed"]), count=int(data["count"]),
+            seed=int(data["seed"]),
+            count=int(data["count"]),
             families=tuple(data.get("families", ())),
             policy=str(data.get("policy", "balanced")),
-            num_cores=int(data.get("num_cores", 8)))
+            num_cores=int(data.get("num_cores", 8)),
+        )
     if kind == MIXED_KIND:
-        return MixedSource(parts=tuple(
-            (source_from_mapping(part), float(weight))
-            for part, weight in data["parts"]))
+        return MixedSource(
+            parts=tuple(
+                (source_from_mapping(part), float(weight))
+                for part, weight in data["parts"]
+            )
+        )
     raise ValueError(
         f"unknown app-source kind {kind!r}; choose from "
-        f"{[BENCHMARK_KIND, GENERATED_KIND, MIXED_KIND]}")
+        f"{[BENCHMARK_KIND, GENERATED_KIND, MIXED_KIND]}"
+    )
 
 
 __all__ = [

@@ -66,8 +66,9 @@ class LocalClock:
         horizon_s: simulated time span the clock must cover.
     """
 
-    def __init__(self, spec: ClockSpec, rng: random.Random,
-                 horizon_s: float) -> None:
+    def __init__(
+        self, spec: ClockSpec, rng: random.Random, horizon_s: float
+    ) -> None:
         self.spec = spec
         self._rng = rng
         self._rate = 1.0 + spec.drift_ppm * PPM

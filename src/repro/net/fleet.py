@@ -88,8 +88,9 @@ def _simulate_shard(payload: tuple) -> list[NodeResult]:
     config, node_ids, beacons, sample_times, ref_readings = payload
     results = []
     for node_id in node_ids:
-        node = build_node(config.scenario, node_id, config.seed,
-                          config.duration_s)
+        node = build_node(
+            config.scenario, node_id, config.seed, config.duration_s
+        )
         results.append(node.simulate(beacons, sample_times, ref_readings))
     return results
 
@@ -109,17 +110,20 @@ class FleetRunner:
         config = self.config
         if config.n_nodes == 0:
             return [], [], []
-        reference = build_node(config.scenario, REFERENCE_NODE_ID,
-                               config.seed, config.duration_s)
-        beacons = beacon_schedule(config.scenario.beacon_period_s,
-                                  config.duration_s, reference.clock)
+        reference = build_node(
+            config.scenario, REFERENCE_NODE_ID, config.seed, config.duration_s
+        )
+        beacons = beacon_schedule(
+            config.scenario.beacon_period_s, config.duration_s, reference.clock
+        )
         samples = int(config.duration_s * ERROR_SAMPLE_HZ)
         sample_times = [(i + 1) / ERROR_SAMPLE_HZ for i in range(samples)]
         ref_readings = [reference.clock.read(t) for t in sample_times]
         return beacons, sample_times, ref_readings
 
-    def run(self, workers: int = 1,
-            shard_size: int | None = None) -> FleetResult:
+    def run(
+        self, workers: int = 1, shard_size: int | None = None
+    ) -> FleetResult:
         """Simulate the whole fleet.
 
         Args:
@@ -137,8 +141,10 @@ class FleetRunner:
             shard_size = even_shard_size(len(node_ids), workers)
         shards = shard(node_ids, shard_size)
         beacons, sample_times, ref_readings = self._schedule()
-        payloads = [(config, ids, beacons, sample_times, ref_readings)
-                    for ids in shards]
+        payloads = [
+            (config, ids, beacons, sample_times, ref_readings)
+            for ids in shards
+        ]
 
         parallel = workers > 1 and len(shards) > 1
         workers_used = min(workers, len(shards)) if parallel else 1
@@ -149,22 +155,24 @@ class FleetRunner:
             batches = [_simulate_shard(payload) for payload in payloads]
         elapsed = time.perf_counter() - start
 
-        results = sorted((node for batch in batches for node in batch),
-                         key=lambda node: node.node_id)
+        results = sorted(
+            (node for batch in batches for node in batch),
+            key=lambda node: node.node_id,
+        )
         return FleetResult(
             summary=self._aggregate(results, beacons),
             nodes=tuple(results),
             elapsed_s=elapsed,
-            nodes_per_second=(len(results) / elapsed
-                              if elapsed > 0 else 0.0),
+            nodes_per_second=(len(results) / elapsed if elapsed > 0 else 0.0),
             workers=workers_used,
             shards=len(shards),
             mode="parallel" if parallel else "serial",
         )
 
     @staticmethod
-    def _group_stats(results: list[NodeResult],
-                     key) -> tuple[GroupStats, ...]:
+    def _group_stats(
+        results: list[NodeResult], key
+    ) -> tuple[GroupStats, ...]:
         """Per-group aggregates over a node grouping key, name order."""
         groups: dict[str, list[NodeResult]] = {}
         for node in results:
@@ -172,30 +180,36 @@ class FleetRunner:
         stats = []
         for name in sorted(groups):
             members = groups[name]
-            followers = [node for node in members
-                         if node.node_id != REFERENCE_NODE_ID]
-            stats.append(GroupStats(
-                name=name,
-                nodes=len(members),
-                mean_power_uw=sum(node.power.total_uw
-                                  for node in members) / len(members),
-                mean_floor_mhz=sum(node.floor_mhz
-                                   for node in members) / len(members),
-                repairs=sum(node.repairs for node in members),
-                steady_sync=SyncError.merged(
-                    [node.steady_sync for node in followers]),
-            ))
+            followers = [
+                node for node in members if node.node_id != REFERENCE_NODE_ID
+            ]
+            power = sum(node.power.total_uw for node in members)
+            floor = sum(node.floor_mhz for node in members)
+            stats.append(
+                GroupStats(
+                    name=name,
+                    nodes=len(members),
+                    mean_power_uw=power / len(members),
+                    mean_floor_mhz=floor / len(members),
+                    repairs=sum(node.repairs for node in members),
+                    steady_sync=SyncError.merged(
+                        [node.steady_sync for node in followers]
+                    ),
+                )
+            )
         return tuple(stats)
 
-    def _aggregate(self, results: list[NodeResult],
-                   beacons: list[Beacon]) -> FleetSummary:
+    def _aggregate(
+        self, results: list[NodeResult], beacons: list[Beacon]
+    ) -> FleetSummary:
         """Merge per-node results (already sorted by node id)."""
         config = self.config
         n = len(results)
         total_power = sum(node.power.total_uw for node in results)
         total_radio = sum(node.radio_uw for node in results)
-        followers = [node for node in results
-                     if node.node_id != REFERENCE_NODE_ID]
+        followers = [
+            node for node in results if node.node_id != REFERENCE_NODE_ID
+        ]
         return FleetSummary(
             scenario=config.scenario.name,
             protocol=config.scenario.protocol,
@@ -206,26 +220,34 @@ class FleetRunner:
             mean_radio_uw=total_radio / n if n else 0.0,
             sync=SyncError.merged([node.sync for node in followers]),
             steady_sync=SyncError.merged(
-                [node.steady_sync for node in followers]),
+                [node.steady_sync for node in followers]
+            ),
             unsync=SyncError.merged([node.unsync for node in followers]),
             steady_unsync=SyncError.merged(
-                [node.steady_unsync for node in followers]),
+                [node.steady_unsync for node in followers]
+            ),
             beacons_sent=len(beacons) if n else 0,
             beacons_heard=sum(node.beacons_heard for node in results),
             power_loss_resets=sum(node.resets for node in results),
             source=config.scenario.apps.kind,
             families=self._group_stats(
-                results, lambda node: node.family or node.app_name),
+                results, lambda node: node.family or node.app_name
+            ),
             policies=self._group_stats(
-                results, lambda node: node.policy or "paper"),
+                results, lambda node: node.policy or "paper"
+            ),
         )
 
 
-def run_fleet(scenario: str | Scenario, n_nodes: int | None = None,
-              duration_s: float = DEFAULT_DURATION_S,
-              seed: int = DEFAULT_SEED,
-              protocol: str | None = None, workers: int = 1,
-              shard_size: int | None = None) -> FleetResult:
+def run_fleet(
+    scenario: str | Scenario,
+    n_nodes: int | None = None,
+    duration_s: float = DEFAULT_DURATION_S,
+    seed: int = DEFAULT_SEED,
+    protocol: str | None = None,
+    workers: int = 1,
+    shard_size: int | None = None,
+) -> FleetResult:
     """Convenience wrapper: resolve a scenario and run it once.
 
     Args:
@@ -251,7 +273,8 @@ def run_fleet(scenario: str | Scenario, n_nodes: int | None = None,
     elif not isinstance(scenario, Scenario):
         raise ValueError(
             f"scenario must be a name or Scenario, got "
-            f"{type(scenario).__name__!r}; names: {sorted(SCENARIOS)}")
+            f"{type(scenario).__name__!r}; names: {sorted(SCENARIOS)}"
+        )
     scenario = with_protocol(scenario, protocol)
     config = FleetConfig(
         scenario=scenario,

@@ -1,0 +1,550 @@
+"""Tiered cluster→gateway→backbone hierarchies above flat fleets.
+
+Real deployments of the paper's nodes are not flat stars: body
+clusters sync to a gateway, gateways sync to a campus backbone
+(Baumgartner et al.'s heterogeneous WSNs, Cappelle et al.'s multi-IMU
+body networks).  This module describes such deployments:
+
+* :class:`Tier` — one level of the hierarchy: the sync protocol its
+  members run against their parent, the beacon period they are served
+  at, the fan-out per parent and a drift scale (backbone gateways
+  usually carry better crystals than leaf patches).
+* :class:`HierarchySpec` — a base :class:`~repro.net.scenarios
+  .Scenario` (clocks, radio, app source) plus an ordered tuple of
+  tiers hanging off one backbone reference node.  Specs round-trip
+  through compact ``tiers:`` tokens alongside the flat ``gen:``
+  scenario tokens, so hierarchical fleets ride through JSON-scalar
+  sweep points and CLI arguments unchanged.
+
+**Error compounding.**  A member of tier *i* estimates its *parent's*
+clock from the beacons it hears (:func:`hop_error_samples`); its
+effective error to the backbone is that hop error composed with the
+parent's own effective error at the shared sample instants
+(:func:`compose_errors`).  The composition is first-order additive —
+exact for the free-running baselines (the telescoping sum collapses
+to leaf local clock minus backbone clock) and accurate to the product
+of per-hop errors otherwise, which is far below the errors
+themselves.
+
+**Scale.**  Hierarchical fleets are sized in the tens of thousands of
+nodes, so per-node exact application simulation is off the table.
+Instead, node compute power comes from a memoised per-app profile
+(:func:`binding_power_uw`): one exact
+:func:`repro.sysc.engine.simulate` run per *distinct* application at
+the scenario's canonical heart rate, shared by every node bound to
+that app.  Radio energy, clocks, receptions and sync errors remain
+exact per node.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .appsource import APPS, AppBinding, _resolve_generated
+from .clock import ClockSpec, LocalClock
+from .radio import Reception
+from .scenarios import (
+    DENSE_WARD,
+    DRIFTING_WEARABLES,
+    Scenario,
+    parse_scenario,
+    scenario_token,
+)
+from .timesync import PROTOCOLS, make_protocol
+
+#: Prefix of hierarchy tokens (``tiers:<tier/...>:<base>``).
+TIERS_TOKEN_PREFIX = "tiers"
+
+#: Stream path of the backbone reference node.
+ROOT_PATH = "root"
+
+#: Simulated seconds of the memoised per-app power profile.  Profiles
+#: are amortised over every node bound to the same app, so a short
+#: exact simulation suffices; runs shorter than this profile at their
+#: own duration.
+PROFILE_DURATION_S = 4.0
+
+#: Grammar hint quoted by every token error.
+_TIER_GRAMMAR = "'tiers:<proto@<period>x<fan>[~<scale>]/...>:<base>'"
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One level of a deployment hierarchy.
+
+    Attributes:
+        name: human label of the level (``backbone``, ``ward`` ...).
+        protocol: sync protocol its members run against their parent
+            (any :data:`repro.net.timesync.PROTOCOLS` name).
+        beacon_period_s: period of the beacons each parent broadcasts
+            to this tier's members.
+        fan_out: members per parent node (>= 1).
+        drift_scale: multiplier on the base scenario's drift range
+            for this tier's oscillators (gateways tend to carry
+            better crystals than leaf patches).
+    """
+
+    name: str
+    protocol: str
+    beacon_period_s: float
+    fan_out: int
+    drift_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier needs a non-empty name")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown tier protocol {self.protocol!r}; "
+                f"choose from {sorted(PROTOCOLS)}"
+            )
+        if self.beacon_period_s <= 0.0:
+            raise ValueError("tier beacon period must be positive")
+        if self.fan_out < 1:
+            raise ValueError("tier fan-out must be >= 1")
+        if self.drift_scale <= 0.0:
+            raise ValueError("tier drift scale must be positive")
+
+
+def _default_tier_names(count: int) -> tuple[str, ...]:
+    """Canonical tier names of a parsed token (position-derived)."""
+    if count <= 0:
+        return ()
+    if count == 1:
+        return ("cluster",)
+    middles = tuple(f"relay{i}" for i in range(1, count - 1))
+    return ("backbone",) + middles + ("cluster",)
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """A hierarchical deployment: one backbone root plus tiers.
+
+    The base scenario contributes everything *around* the hierarchy —
+    app source, clock quality, radio, heart rates — while the tiers
+    describe its shape: tier 0 hangs off the single backbone
+    reference node, each member of tier *i* parents ``fan_out``
+    members of tier *i + 1*.  Power-loss resets apply only to the
+    last (leaf) tier; gateways and the root are powered
+    infrastructure.
+
+    Attributes:
+        name: registry key or round-trip token.
+        base: the flat scenario the hierarchy is built from.
+        tiers: ordered levels, backbone-adjacent first.  An empty
+            tuple is the degenerate root-only deployment.
+    """
+
+    name: str
+    base: Scenario
+    tiers: tuple[Tier, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, Scenario):
+            raise ValueError("hierarchy base must be a Scenario")
+        for tier in self.tiers:
+            if not isinstance(tier, Tier):
+                raise ValueError("hierarchy tiers must be Tier values")
+
+    @property
+    def tier_counts(self) -> tuple[int, ...]:
+        """Node count per tier (cumulative fan-out products)."""
+        counts = []
+        members = 1
+        for tier in self.tiers:
+            members *= tier.fan_out
+            counts.append(members)
+        return tuple(counts)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total fleet size, the backbone root included."""
+        return 1 + sum(self.tier_counts)
+
+    @property
+    def subtrees(self) -> int:
+        """Independent tier-0 subtrees (the streaming work unit)."""
+        return self.tiers[0].fan_out if self.tiers else 0
+
+    @property
+    def subtree_nodes(self) -> int:
+        """Nodes per tier-0 subtree (root excluded)."""
+        if not self.tiers:
+            return 0
+        return (self.n_nodes - 1) // self.subtrees
+
+
+WARD_CAMPUS = HierarchySpec(
+    name="ward-campus",
+    base=DENSE_WARD,
+    tiers=(
+        Tier(
+            name="backbone",
+            protocol="ftsp",
+            beacon_period_s=10.0,
+            fan_out=8,
+            drift_scale=0.5,
+        ),
+        Tier(
+            name="ward",
+            protocol="rbs",
+            beacon_period_s=2.0,
+            fan_out=16,
+        ),
+    ),
+)
+
+BODY_NETWORKS = HierarchySpec(
+    name="body-networks",
+    base=DRIFTING_WEARABLES,
+    tiers=(
+        Tier(
+            name="backbone",
+            protocol="ftsp",
+            beacon_period_s=5.0,
+            fan_out=12,
+        ),
+        Tier(
+            name="body",
+            protocol="rbs",
+            beacon_period_s=1.0,
+            fan_out=6,
+        ),
+    ),
+)
+
+MEGA_CAMPUS = HierarchySpec(
+    name="mega-campus",
+    base=DENSE_WARD,
+    tiers=(
+        Tier(
+            name="backbone",
+            protocol="ftsp",
+            beacon_period_s=10.0,
+            fan_out=320,
+            drift_scale=0.5,
+        ),
+        Tier(
+            name="ward",
+            protocol="rbs",
+            beacon_period_s=2.0,
+            fan_out=320,
+        ),
+    ),
+)
+
+#: Hierarchy registry, keyed by name.
+HIERARCHIES: dict[str, HierarchySpec] = {
+    spec.name: spec
+    for spec in (WARD_CAMPUS, BODY_NETWORKS, MEGA_CAMPUS)
+}
+
+
+def get_hierarchy(name: str) -> HierarchySpec:
+    """Look up a hierarchy preset.
+
+    Raises:
+        ValueError: unknown preset name.
+    """
+    try:
+        return HIERARCHIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown hierarchy {name!r}; "
+            f"choose from {sorted(HIERARCHIES)}"
+        ) from None
+
+
+def _tier_token(tier: Tier) -> str:
+    """One tier's token segment (names are position-derived)."""
+    token = f"{tier.protocol}@{tier.beacon_period_s:g}x{tier.fan_out}"
+    if tier.drift_scale != 1.0:
+        token += f"~{tier.drift_scale:g}"
+    return token
+
+
+def _parse_tier(segment: str, name: str, text: str) -> Tier:
+    """Parse one ``proto@<period>x<fan>[~<scale>]`` segment."""
+    protocol, at, rest = segment.partition("@")
+    body, tilde, scale_text = rest.partition("~")
+    period_text, x, fan_text = body.rpartition("x")
+    if not at or not x:
+        raise ValueError(
+            f"malformed hierarchy token {text!r}; expected "
+            f"{_TIER_GRAMMAR}"
+        )
+    try:
+        period = float(period_text)
+        fan_out = int(fan_text)
+        scale = float(scale_text) if tilde else 1.0
+    except ValueError:
+        raise ValueError(
+            f"malformed hierarchy token {text!r}; period, fan-out "
+            f"and scale must be numeric"
+        ) from None
+    return Tier(
+        name=name,
+        protocol=protocol,
+        beacon_period_s=period,
+        fan_out=fan_out,
+        drift_scale=scale,
+    )
+
+
+def hierarchy_token(spec: HierarchySpec) -> str:
+    """Compact string identity of a hierarchy.
+
+    Presets serialise to their registry name; everything else to
+    ``tiers:<proto@<period>x<fan>[~<scale>]/...>:<base>`` where
+    ``<base>`` is the base scenario's own token (preset name or
+    ``gen:`` form).  Tier names are not encoded — parsing assigns
+    canonical position-derived names.
+
+    Raises:
+        ValueError: the base scenario has no token form.
+    """
+    preset = HIERARCHIES.get(spec.name)
+    if preset is not None and preset == spec:
+        return spec.name
+    if not spec.tiers:
+        raise ValueError(
+            "tierless hierarchies have no token form; register a "
+            "preset instead"
+        )
+    segments = "/".join(_tier_token(tier) for tier in spec.tiers)
+    return (
+        f"{TIERS_TOKEN_PREFIX}:{segments}:{scenario_token(spec.base)}"
+    )
+
+
+def parse_hierarchy(text: str) -> HierarchySpec:
+    """Resolve a hierarchy token: preset name or ``tiers:`` form.
+
+    Raises:
+        ValueError: unknown preset or malformed token, with the
+            valid choices listed.
+    """
+    if text in HIERARCHIES:
+        return HIERARCHIES[text]
+    if not text.startswith(TIERS_TOKEN_PREFIX + ":"):
+        raise ValueError(
+            f"unknown hierarchy {text!r}; choose from "
+            f"{sorted(HIERARCHIES)} or a {_TIER_GRAMMAR} token"
+        )
+    parts = text.split(":", 2)
+    if len(parts) != 3 or not parts[1] or not parts[2]:
+        raise ValueError(
+            f"malformed hierarchy token {text!r}; expected "
+            f"{_TIER_GRAMMAR}"
+        )
+    segments = parts[1].split("/")
+    names = _default_tier_names(len(segments))
+    tiers = tuple(
+        _parse_tier(segment, name, text)
+        for segment, name in zip(segments, names)
+    )
+    return HierarchySpec(
+        name=text, base=parse_scenario(parts[2]), tiers=tiers
+    )
+
+
+def _stream(seed: int, path: str, kind: str) -> random.Random:
+    """A named per-node stream keyed by the node's hierarchy path.
+
+    Paths are position-derived (``"3"`` is the fourth tier-0 subtree
+    root, ``"3.7"`` its eighth child), so a node's draws never depend
+    on wave boundaries or worker counts.  String seeding hashes
+    through SHA-512 inside :class:`random.Random` — stable across
+    processes, never ``hash()``.
+    """
+    return random.Random(f"{seed}:tiers:{path}:{kind}")
+
+
+def build_member(
+    spec: HierarchySpec,
+    tier_index: int,
+    path: str,
+    seed: int,
+    duration_s: float,
+) -> tuple[AppBinding, LocalClock]:
+    """Bind one hierarchy member's app and build its clock.
+
+    Mirrors :func:`repro.net.node.build_node`'s draw discipline (app
+    binding, drift magnitude, sign, offset — all from the member's
+    own ``app`` stream) with two hierarchy twists: the tier's drift
+    scale multiplies the drawn magnitude, and only leaf-tier members
+    suffer power-loss resets.  ``tier_index`` -1 builds the backbone
+    root (unscaled drift, continuously powered).
+    """
+    base = spec.base
+    tier = spec.tiers[tier_index] if tier_index >= 0 else None
+    rng = _stream(seed, path, "app")
+    binding = base.apps.bind(rng, base.abnormal_ratio)
+    scale = tier.drift_scale if tier is not None else 1.0
+    magnitude = rng.uniform(*base.drift_ppm_range) * scale
+    sign = 1.0 if rng.random() < 0.5 else -1.0
+    offset = rng.uniform(-base.initial_offset_s, base.initial_offset_s)
+    leaf = tier_index == len(spec.tiers) - 1
+    loss = base.power_loss_rate_hz if tier is not None and leaf else 0.0
+    clock_spec = ClockSpec(
+        drift_ppm=sign * magnitude,
+        jitter_s=base.jitter_s,
+        initial_offset_s=offset,
+        power_loss_rate_hz=loss,
+    )
+    clock = LocalClock(
+        clock_spec, _stream(seed, path, "clock"), horizon_s=duration_s
+    )
+    return binding, clock
+
+
+def hop_error_samples(
+    protocol_name: str,
+    receptions: list[Reception],
+    clock: LocalClock,
+    sample_times: list[float],
+    parent_readings: list[float],
+) -> tuple[list[float], list[float]]:
+    """One member's signed per-sample error against its parent.
+
+    Replays receptions and error samples in global-time order with
+    power-loss reboot handling — the hierarchical analogue of
+    :meth:`repro.net.node.NetworkNode._sync_errors`, returning the
+    *signed* per-sample series (composition across hops needs signs,
+    not magnitudes).
+
+    Returns:
+        ``(hop_errors, baselines)`` — the protocol's estimate of the
+        parent clock minus the parent's true reading at each sample
+        time, and the free-running counterfactual (raw local clock
+        minus parent reading) from the same replay.
+    """
+    protocol = make_protocol(protocol_name)
+    events = [(r.rx_global, 0, r) for r in receptions]
+    events += [(t, 1, i) for i, t in enumerate(sample_times)]
+    events.sort(key=lambda event: (event[0], event[1]))
+    errors: list[float] = []
+    baselines: list[float] = []
+    seen_resets = 0
+    for when, kind, payload in events:
+        resets = clock.resets_before(when)
+        if resets != seen_resets:
+            protocol.on_reboot()
+            seen_resets = resets
+        if kind == 0:
+            protocol.on_beacon(
+                payload.beacon.ref_timestamp, payload.rx_local
+            )
+        else:
+            local = clock.read(when)
+            errors.append(
+                protocol.estimate_reference(local)
+                - parent_readings[payload]
+            )
+            baselines.append(local - parent_readings[payload])
+    return errors, baselines
+
+
+def compose_errors(
+    hop: list[float], parent: list[float] | None
+) -> list[float]:
+    """Compose a hop's errors with the parent's effective errors.
+
+    First-order additive composition at shared sample instants: the
+    member's effective error to the backbone is its error against the
+    parent plus the parent's error against the backbone.  Exact for
+    free-running baselines (the sum telescopes to leaf local clock
+    minus backbone clock); accurate to the product of per-hop errors
+    otherwise.  Tier-0 members pass ``None`` (their parent *is* the
+    backbone).
+    """
+    if parent is None:
+        return list(hop)
+    return [h + p for h, p in zip(hop, parent)]
+
+
+@lru_cache(maxsize=512)
+def _profile_power_uw(
+    token: str,
+    name: str,
+    policy: str,
+    num_cores: int,
+    ratio: float,
+    bpm: float,
+    duration_s: float,
+) -> float:
+    """Average compute power of one app configuration (memoised).
+
+    Pure function of its arguments: generated apps regenerate from
+    their token through the same memoised resolution fleets use,
+    benchmarks rebuild from the registry.  Radio power is *not*
+    included — callers add their own exact per-node radio figure.
+    """
+    from ..sysc.engine import Mode, simulate, uniform_schedule
+
+    if token:
+        app, plan, _ = _resolve_generated(token, policy, num_cores)
+    else:
+        app, plan = APPS[name](ratio), None
+    schedule = uniform_schedule(
+        duration_s, app.fs, bpm=bpm, abnormal_ratio=ratio
+    )
+    mode = (
+        Mode.MULTI_CORE
+        if plan is None or plan.multicore
+        else Mode.SINGLE_CORE
+    )
+    result = simulate(
+        app,
+        mode,
+        schedule,
+        duration_s=duration_s,
+        num_cores=num_cores,
+        mapping=plan,
+    )
+    return result.power.total_uw
+
+
+def binding_power_uw(
+    binding: AppBinding, base: Scenario, duration_s: float
+) -> float:
+    """One bound app's compute power from the shared profile, in µW.
+
+    The profile runs at the scenario's canonical heart rate (the
+    midpoint of ``bpm_range``) and a bounded duration
+    (:data:`PROFILE_DURATION_S`), so a mega-fleet pays one exact
+    simulation per *distinct* application instead of one per node —
+    the deliberate accuracy/scale trade of the hierarchy layer.
+    """
+    bpm = (base.bpm_range[0] + base.bpm_range[1]) / 2.0
+    return _profile_power_uw(
+        binding.token,
+        binding.name,
+        binding.policy,
+        binding.num_cores,
+        base.abnormal_ratio,
+        bpm,
+        min(duration_s, PROFILE_DURATION_S),
+    )
+
+
+__all__ = [
+    "BODY_NETWORKS",
+    "HIERARCHIES",
+    "HierarchySpec",
+    "MEGA_CAMPUS",
+    "PROFILE_DURATION_S",
+    "ROOT_PATH",
+    "TIERS_TOKEN_PREFIX",
+    "Tier",
+    "WARD_CAMPUS",
+    "binding_power_uw",
+    "build_member",
+    "compose_errors",
+    "get_hierarchy",
+    "hierarchy_token",
+    "hop_error_samples",
+    "parse_hierarchy",
+]

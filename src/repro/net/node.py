@@ -123,9 +123,16 @@ class NetworkNode:
     node's own seeded streams.
     """
 
-    def __init__(self, node_id: int, scenario: Scenario,
-                 binding: AppBinding, bpm: float, clock: LocalClock,
-                 rng_radio: random.Random, duration_s: float) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        scenario: Scenario,
+        binding: AppBinding,
+        bpm: float,
+        clock: LocalClock,
+        rng_radio: random.Random,
+        duration_s: float,
+    ) -> None:
         self.node_id = node_id
         self.scenario = scenario
         self.binding = binding
@@ -145,8 +152,12 @@ class NetworkNode:
         """The bound (possibly repaired) application spec."""
         return self.binding.app
 
-    def simulate(self, beacons: list[Beacon], sample_times: list[float],
-                 ref_readings: list[float]) -> NodeResult:
+    def simulate(
+        self,
+        beacons: list[Beacon],
+        sample_times: list[float],
+        ref_readings: list[float],
+    ) -> NodeResult:
         """Run the node over one window.
 
         Args:
@@ -157,15 +168,25 @@ class NetworkNode:
                 sample time (``len(sample_times)`` values).
         """
         schedule = uniform_schedule(
-            self.duration_s, self.app.fs, bpm=self.bpm,
-            abnormal_ratio=self.scenario.abnormal_ratio)
+            self.duration_s,
+            self.app.fs,
+            bpm=self.bpm,
+            abnormal_ratio=self.scenario.abnormal_ratio,
+        )
         plan = self.binding.plan
-        mode = Mode.MULTI_CORE if plan is None or plan.multicore \
+        mode = (
+            Mode.MULTI_CORE
+            if plan is None or plan.multicore
             else Mode.SINGLE_CORE
-        result = simulate(self.app, mode, schedule,
-                          duration_s=self.duration_s,
-                          num_cores=self.binding.num_cores,
-                          mapping=plan)
+        )
+        result = simulate(
+            self.app,
+            mode,
+            schedule,
+            duration_s=self.duration_s,
+            num_cores=self.binding.num_cores,
+            mapping=plan,
+        )
 
         energy = RadioEnergy()
         errors: list[float] = []
@@ -177,10 +198,12 @@ class NetworkNode:
             heard = 0
         else:
             receptions = receive_beacons(
-                beacons, self.clock, self.scenario.radio, self._rng_radio)
+                beacons, self.clock, self.scenario.radio, self._rng_radio
+            )
             energy.rx_messages = heard = len(receptions)
             errors, steady, base_errors, base_steady = self._sync_errors(
-                receptions, sample_times, ref_readings)
+                receptions, sample_times, ref_readings
+            )
 
         radio_uw = energy.average_uw(self.scenario.radio, self.duration_s)
         power = result.power
@@ -188,8 +211,9 @@ class NetworkNode:
         return NodeResult(
             node_id=self.node_id,
             app_name=self.app_name,
-            protocol=("reference" if self.is_reference
-                      else self.scenario.protocol),
+            protocol=(
+                "reference" if self.is_reference else self.scenario.protocol
+            ),
             drift_ppm=self.clock.spec.drift_ppm,
             bpm=self.bpm,
             resets=self.clock.resets_before(self.duration_s),
@@ -207,10 +231,9 @@ class NetworkNode:
             repairs=self.binding.repairs,
         )
 
-    def _sync_errors(self, receptions, sample_times: list[float],
-                     ref_readings: list[float]
-                     ) -> tuple[list[float], list[float],
-                                list[float], list[float]]:
+    def _sync_errors(
+        self, receptions, sample_times: list[float], ref_readings: list[float]
+    ) -> tuple[list[float], list[float], list[float], list[float]]:
         """Replay receptions and error samples in global-time order.
 
         Returns the active protocol's error samples and, from the same
@@ -233,12 +256,14 @@ class NetworkNode:
                 protocol.on_reboot()
                 seen_resets = resets
             if kind == 0:
-                protocol.on_beacon(payload.beacon.ref_timestamp,
-                                   payload.rx_local)
+                protocol.on_beacon(
+                    payload.beacon.ref_timestamp, payload.rx_local
+                )
             else:
                 local = self.clock.read(when)
-                error = protocol.estimate_reference(local) \
-                    - ref_readings[payload]
+                error = (
+                    protocol.estimate_reference(local) - ref_readings[payload]
+                )
                 baseline = local - ref_readings[payload]
                 errors.append(error)
                 base_errors.append(baseline)
@@ -248,8 +273,9 @@ class NetworkNode:
         return errors, steady, base_errors, base_steady
 
 
-def build_node(scenario: Scenario, node_id: int, fleet_seed: int,
-               duration_s: float) -> NetworkNode:
+def build_node(
+    scenario: Scenario, node_id: int, fleet_seed: int, duration_s: float
+) -> NetworkNode:
     """Construct one node from its seeded streams.
 
     The node's application comes from the scenario's app source
@@ -268,18 +294,21 @@ def build_node(scenario: Scenario, node_id: int, fleet_seed: int,
 
     magnitude = rng_app.uniform(*scenario.drift_ppm_range)
     sign = 1.0 if rng_app.random() < 0.5 else -1.0
-    offset = rng_app.uniform(-scenario.initial_offset_s,
-                             scenario.initial_offset_s)
-    loss_rate = (0.0 if node_id == REFERENCE_NODE_ID
-                 else scenario.power_loss_rate_hz)
+    offset = rng_app.uniform(
+        -scenario.initial_offset_s, scenario.initial_offset_s
+    )
+    loss_rate = (
+        0.0 if node_id == REFERENCE_NODE_ID else scenario.power_loss_rate_hz
+    )
     spec = ClockSpec(
         drift_ppm=sign * magnitude,
         jitter_s=scenario.jitter_s,
         initial_offset_s=offset,
         power_loss_rate_hz=loss_rate,
     )
-    clock = LocalClock(spec, _stream(fleet_seed, node_id, "clock"),
-                       horizon_s=duration_s)
+    clock = LocalClock(
+        spec, _stream(fleet_seed, node_id, "clock"), horizon_s=duration_s
+    )
     return NetworkNode(
         node_id=node_id,
         scenario=scenario,

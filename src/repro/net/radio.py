@@ -88,15 +88,20 @@ class RadioEnergy:
         """Average radio power over the simulated window, in µW."""
         if duration_s <= 0.0:
             return 0.0
-        dynamic_uj = (self.tx_messages * spec.tx_uj_per_msg
-                      + self.rx_messages * spec.rx_uj_per_msg)
+        dynamic_uj = (
+            self.tx_messages * spec.tx_uj_per_msg
+            + self.rx_messages * spec.rx_uj_per_msg
+        )
         floor = spec.listen_uw if self.listening else 0.0
         return dynamic_uj / duration_s + floor
 
 
-def receive_beacons(beacons: list[Beacon], clock: LocalClock,
-                    spec: RadioSpec, rng: random.Random
-                    ) -> list[Reception]:
+def receive_beacons(
+    beacons: list[Beacon],
+    clock: LocalClock,
+    spec: RadioSpec,
+    rng: random.Random,
+) -> list[Reception]:
     """Deliver a beacon schedule to one receiver.
 
     Loss and delay jitter are drawn per (receiver, beacon) from the
@@ -113,8 +118,13 @@ def receive_beacons(beacons: list[Beacon], clock: LocalClock,
         if lost:
             continue
         rx_global = beacon.tx_global + delay
-        heard.append(Reception(beacon=beacon, rx_global=rx_global,
-                               rx_local=clock.timestamp(rx_global)))
+        heard.append(
+            Reception(
+                beacon=beacon,
+                rx_global=rx_global,
+                rx_local=clock.timestamp(rx_global),
+            )
+        )
     return heard
 
 
@@ -122,8 +132,9 @@ def receive_beacons(beacons: list[Beacon], clock: LocalClock,
 FIRST_BEACON_S = 0.5
 
 
-def beacon_schedule(period_s: float, duration_s: float,
-                    reference: LocalClock) -> list[Beacon]:
+def beacon_schedule(
+    period_s: float, duration_s: float, reference: LocalClock
+) -> list[Beacon]:
     """The reference node's broadcast schedule over one window.
 
     Beacons start shortly after boot (:data:`FIRST_BEACON_S`) and
@@ -136,8 +147,9 @@ def beacon_schedule(period_s: float, duration_s: float,
     seq = 0
     t = min(FIRST_BEACON_S, period_s)
     while t < duration_s:
-        beacons.append(Beacon(seq=seq, tx_global=t,
-                              ref_timestamp=reference.read(t)))
+        beacons.append(
+            Beacon(seq=seq, tx_global=t, ref_timestamp=reference.read(t))
+        )
         seq += 1
         t += period_s
     return beacons

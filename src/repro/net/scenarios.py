@@ -167,11 +167,15 @@ MIXED_CLINIC = Scenario(
     name="mixed-clinic",
     description="clinic floor: certified monitors beside pilot devices",
     default_nodes=32,
-    apps=MixedSource(parts=(
-        (BenchmarkSource(mix=(("3L-MF", 2.0), ("3L-MMD", 1.0))), 2.0),
-        (GeneratedSuiteSource(seed=7, count=8, policy="critical-path"),
-         1.0),
-    )),
+    apps=MixedSource(
+        parts=(
+            (BenchmarkSource(mix=(("3L-MF", 2.0), ("3L-MMD", 1.0))), 2.0),
+            (
+                GeneratedSuiteSource(seed=7, count=8, policy="critical-path"),
+                1.0,
+            ),
+        )
+    ),
     bpm_range=(58.0, 96.0),
     abnormal_ratio=0.10,
     drift_ppm_range=(5.0, 60.0),
@@ -186,14 +190,17 @@ MIXED_CLINIC = Scenario(
 #: Scenario registry, keyed by name.
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
-    for scenario in (DENSE_WARD, DRIFTING_WEARABLES,
-                     INTERMITTENT_HARVESTING, GENERATED_SWARM,
-                     MIXED_CLINIC)
+    for scenario in (
+        DENSE_WARD,
+        DRIFTING_WEARABLES,
+        INTERMITTENT_HARVESTING,
+        GENERATED_SWARM,
+        MIXED_CLINIC,
+    )
 }
 
 
-def with_protocol(scenario: Scenario,
-                  protocol: str | None) -> Scenario:
+def with_protocol(scenario: Scenario, protocol: str | None) -> Scenario:
     """The scenario with its sync protocol overridden (None = keep)."""
     if protocol is None or protocol == scenario.protocol:
         return scenario
@@ -211,15 +218,19 @@ def get_scenario(name: str, protocol: str | None = None) -> Scenario:
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r}; "
-            f"choose from {sorted(SCENARIOS)}") from None
+            f"choose from {sorted(SCENARIOS)}"
+        ) from None
     return with_protocol(scenario, protocol)
 
 
-def generated_scenario(base: str | Scenario = "drifting-wearables",
-                       seed: int = 7, count: int = 12,
-                       policy: str = "balanced",
-                       families: tuple[str, ...] | None = None,
-                       num_cores: int = DEFAULT_NUM_CORES) -> Scenario:
+def generated_scenario(
+    base: str | Scenario = "drifting-wearables",
+    seed: int = 7,
+    count: int = 12,
+    policy: str = "balanced",
+    families: tuple[str, ...] | None = None,
+    num_cores: int = DEFAULT_NUM_CORES,
+) -> Scenario:
     """A suite-backed scenario derived from a base preset.
 
     The base preset contributes everything *around* the application —
@@ -233,15 +244,19 @@ def generated_scenario(base: str | Scenario = "drifting-wearables",
     """
     base_scenario = get_scenario(base) if isinstance(base, str) else base
     source = GeneratedSuiteSource(
-        seed=seed, count=count,
+        seed=seed,
+        count=count,
         families=tuple(families) if families else (),
-        policy=policy, num_cores=num_cores)
+        policy=policy,
+        num_cores=num_cores,
+    )
     derived = replace(base_scenario, apps=source)
     return replace(
         derived,
         name=scenario_token(derived),
         description=f"{base_scenario.description} "
-                    f"[{source.describe()}]")
+        f"[{source.describe()}]",
+    )
 
 
 def scenario_token(scenario: Scenario) -> str:
@@ -262,20 +277,30 @@ def scenario_token(scenario: Scenario) -> str:
             pass such scenarios by value, not by token).
     """
     preset = SCENARIOS.get(scenario.name)
-    if preset is not None and \
-            with_protocol(preset, scenario.protocol) == scenario:
+    if (
+        preset is not None
+        and with_protocol(preset, scenario.protocol) == scenario
+    ):
         return scenario.name
     source = scenario.apps
     if isinstance(source, GeneratedSuiteSource):
-        base = next(
-            (name for name, preset in SCENARIOS.items()
-             if replace(preset, apps=source, name=scenario.name,
-                        description=scenario.description,
-                        protocol=scenario.protocol) == scenario),
-            None)
+        base = None
+        for name, candidate in SCENARIOS.items():
+            rebuilt = replace(
+                candidate,
+                apps=source,
+                name=scenario.name,
+                description=scenario.description,
+                protocol=scenario.protocol,
+            )
+            if rebuilt == scenario:
+                base = name
+                break
         if base is not None:
-            token = (f"{GEN_TOKEN_PREFIX}:{base}:{source.seed}:"
-                     f"{source.count}:{source.policy}")
+            token = (
+                f"{GEN_TOKEN_PREFIX}:{base}:{source.seed}:"
+                f"{source.count}:{source.policy}"
+            )
             custom_width = source.num_cores != DEFAULT_NUM_CORES
             if source.families or custom_width:
                 token += ":" + "+".join(source.families)
@@ -284,11 +309,11 @@ def scenario_token(scenario: Scenario) -> str:
             return token
     raise ValueError(
         f"scenario {scenario.name!r} has no token form; only presets "
-        f"and preset-derived generated-suite scenarios round-trip")
+        f"and preset-derived generated-suite scenarios round-trip"
+    )
 
 
-def parse_scenario(text: str,
-                   protocol: str | None = None) -> Scenario:
+def parse_scenario(text: str, protocol: str | None = None) -> Scenario:
     """Resolve a scenario token: preset name or ``gen:`` form.
 
     Raises:
@@ -297,30 +322,41 @@ def parse_scenario(text: str,
     """
     if text in SCENARIOS:
         return get_scenario(text, protocol)
-    grammar = "'gen:<base>:<seed>:<count>:<policy>" \
-              "[:<fam+fam>][:<cores>]'"
+    grammar = "'gen:<base>:<seed>:<count>:<policy>[:<fam+fam>][:<cores>]'"
     if text.startswith(GEN_TOKEN_PREFIX + ":"):
         parts = text.split(":")
         if len(parts) not in (5, 6, 7):
             raise ValueError(
-                f"malformed scenario token {text!r}; expected "
-                f"{grammar}")
+                f"malformed scenario token {text!r}; expected {grammar}"
+            )
         _, base, seed_text, count_text, policy = parts[:5]
-        families = tuple(parts[5].split("+")) \
-            if len(parts) >= 6 and parts[5] else None
+        families = (
+            tuple(parts[5].split("+"))
+            if len(parts) >= 6 and parts[5]
+            else None
+        )
         try:
             seed, count = int(seed_text), int(count_text)
-            num_cores = int(parts[6]) if len(parts) == 7 \
-                else DEFAULT_NUM_CORES
+            num_cores = (
+                int(parts[6]) if len(parts) == 7 else DEFAULT_NUM_CORES
+            )
         except ValueError:
             raise ValueError(
                 f"malformed scenario token {text!r}; seed, count and "
-                f"cores must be integers") from None
+                f"cores must be integers"
+            ) from None
         return with_protocol(
-            generated_scenario(base=base, seed=seed, count=count,
-                               policy=policy, families=families,
-                               num_cores=num_cores),
-            protocol)
+            generated_scenario(
+                base=base,
+                seed=seed,
+                count=count,
+                policy=policy,
+                families=families,
+                num_cores=num_cores,
+            ),
+            protocol,
+        )
     raise ValueError(
         f"unknown scenario {text!r}; choose from {sorted(SCENARIOS)} "
-        f"or a {grammar} token")
+        f"or a {grammar} token"
+    )

@@ -54,7 +54,7 @@ class SyncError:
         if total == 0:
             return cls()
         mean = sum(part.count * part.mean_abs_s for part in parts) / total
-        mean_sq = sum(part.count * part.rms_s ** 2 for part in parts) / total
+        mean_sq = sum(part.count * part.rms_s**2 for part in parts) / total
         return cls(
             count=total,
             mean_abs_s=mean,
@@ -102,6 +102,62 @@ class GroupStats:
     mean_floor_mhz: float
     repairs: int
     steady_sync: SyncError = field(default_factory=SyncError)
+
+
+@dataclass(frozen=True)
+class TierSummary:
+    """Aggregate over one tier of a hierarchical fleet.
+
+    Hierarchical runs report two error views per tier: the *hop*
+    error (each member against its own parent — what the tier's
+    protocol actually controls) and the *effective* error (composed
+    across every hop down from the backbone — what an application
+    distributed over the fleet observes).  The free-running
+    counterfactuals are composed the same way.
+
+    Attributes:
+        name: tier label (``backbone``, ``ward`` ...).
+        protocol: sync protocol the tier's members run.
+        beacon_period_s: period of the beacons members receive.
+        fan_out: members per parent node.
+        nodes: total members of the tier.
+        mean_power_uw: mean average member power (incl. radio), µW.
+        mean_radio_uw: mean radio power per member, µW.
+        mean_floor_mhz: mean per-app clock floor of the members'
+            placements (0 for paper-default benchmark nodes).
+        repairs: total replicas trimmed across the tier.
+        beacons_sent: beacons broadcast *to* this tier by its parent
+            nodes (each broadcast counted once, not per listener).
+        beacons_heard: total receptions across the tier.
+        power_loss_resets: total power-loss reboots (leaf tiers only;
+            gateways are powered infrastructure).
+        hop_sync: single-hop error against the members' own parents.
+        steady_hop_sync: single-hop error over the second half.
+        sync: effective error against the backbone (all hops
+            composed).
+        steady_sync: effective error over the second half.
+        unsync: free-running effective counterfactual.
+        steady_unsync: free-running effective error, second half.
+    """
+
+    name: str
+    protocol: str
+    beacon_period_s: float
+    fan_out: int
+    nodes: int
+    mean_power_uw: float = 0.0
+    mean_radio_uw: float = 0.0
+    mean_floor_mhz: float = 0.0
+    repairs: int = 0
+    beacons_sent: int = 0
+    beacons_heard: int = 0
+    power_loss_resets: int = 0
+    hop_sync: SyncError = field(default_factory=SyncError)
+    steady_hop_sync: SyncError = field(default_factory=SyncError)
+    sync: SyncError = field(default_factory=SyncError)
+    steady_sync: SyncError = field(default_factory=SyncError)
+    unsync: SyncError = field(default_factory=SyncError)
+    steady_unsync: SyncError = field(default_factory=SyncError)
 
 
 @dataclass(frozen=True)

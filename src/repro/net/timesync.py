@@ -153,5 +153,6 @@ def make_protocol(name: str) -> SyncProtocol:
     except KeyError:
         raise ValueError(
             f"unknown sync protocol {name!r}; "
-            f"choose from {sorted(PROTOCOLS)}") from None
+            f"choose from {sorted(PROTOCOLS)}"
+        ) from None
     return cls()

@@ -26,6 +26,12 @@ Families:
   ``distinct_families`` (named apart from the ``families`` axis so
   CSV headers never collide), ``mean_floor_mhz`` and ``repairs`` on
   top of the ``fleet`` metrics.
+* ``fleet-tiers`` — one *hierarchical* fleet through the streaming
+  executor (:func:`repro.net.streaming.run_streaming`); the
+  deployment rides in the point as its ``tiers`` token (preset name
+  or ``tiers:...`` form), so points stay JSON scalars.  Reports the
+  tier count and each tier's steady-state hop error on top of the
+  ``fleet`` metrics.
 * ``platform`` — the cycle-accurate :class:`repro.hw.system.System`
   running a spin kernel; axes reach core count and cycle budget.
 * ``ablation`` — one mechanism ablation from
@@ -69,6 +75,7 @@ from ..net.fleet import run_fleet
 from ..net.node import APPS
 from ..net.scenarios import generated_scenario
 from ..net.stats import improvement_ratio
+from ..net.streaming import run_streaming
 from ..oracle import TWO_TIER_SCREEN_BUDGET, TWO_TIER_TOP_K, get_two_tier
 from ..power.vfs import MIN_SYSTEM_CLOCK_MHZ
 from ..search import ORACLE_DURATION_S, SEARCH_ITERATIONS, search_token
@@ -111,6 +118,14 @@ HEADLINE_METRICS: dict[str, tuple[str, ...]] = {
         "improvement",
         "distinct_families",
         "repairs",
+    ),
+    "fleet-tiers": (
+        "n_nodes",
+        "mean_power_uw",
+        "steady_sync_ms",
+        "steady_unsync_ms",
+        "improvement",
+        "tiers",
     ),
     "platform": ("cycles", "im_broadcast", "active_cycles"),
     "ablation": ("with_uw", "without_uw", "penalty"),
@@ -291,6 +306,37 @@ def run_fleet_gen_point(point: dict[str, Value]) -> dict[str, Value]:
     metrics["mean_floor_mhz"] = weighted_floor / nodes if nodes else 0.0
     repairs = sum(group.repairs for group in summary.families)
     metrics["repairs"] = repairs
+    return metrics
+
+
+def run_fleet_tiers_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Stream one hierarchical fleet (serially).
+
+    The deployment never travels inside the point: ``tiers`` is a
+    preset name or round-trip token resolved by
+    :func:`repro.net.hierarchy.parse_hierarchy`, so points stay
+    JSON-scalar and the cache key covers the hierarchy's full
+    identity.  On top of the shared fleet metrics, the point reports
+    the tier count and each tier's steady-state single-hop error.
+    """
+    token = str(_param(point, "tiers", "ward-campus"))
+    duration_s = float(_param(point, "duration_s", 4.0))
+    seed = point.get("seed")
+    if seed is None:
+        seed = stable_seed("fleet-tiers", dict(point))
+    try:
+        result = run_streaming(
+            token, duration_s=duration_s, seed=int(seed), workers=1
+        )
+    except ValueError as exc:
+        raise RunnerError(str(exc)) from None
+    metrics = _fleet_metrics(int(seed), result.summary, duration_s)
+    metrics["scenario_token"] = result.token
+    metrics["tiers"] = len(result.tiers)
+    for tier in result.tiers:
+        metrics[f"steady_hop_{tier.name}_ms"] = (
+            tier.steady_hop_sync.mean_abs_s * 1e3
+        )
     return metrics
 
 
@@ -502,6 +548,7 @@ RUNNERS: dict[str, Callable[[dict], dict]] = {
     "app": run_app_point,
     "fleet": run_fleet_point,
     "fleet-gen": run_fleet_gen_point,
+    "fleet-tiers": run_fleet_tiers_point,
     "platform": run_platform_point,
     "ablation": run_ablation_point,
     "gen": run_gen_point,

@@ -130,6 +130,24 @@ FLEET_GEN = SweepSpec(
     ),
 )
 
+FLEET_TIERS = SweepSpec(
+    name="fleet-tiers",
+    runner="fleet-tiers",
+    description="hierarchical fleets: preset and token deployments",
+    axes=(
+        (
+            "tiers",
+            (
+                "ward-campus",
+                "body-networks",
+                "tiers:ftsp@10x4/rbs@2x6:dense-ward",
+                "tiers:none@5x4/rbs@2x6:dense-ward",
+            ),
+        ),
+    ),
+    base=(("duration_s", 4.0), ("seed", 2014)),
+)
+
 PLATFORM = SweepSpec(
     name="platform",
     runner="platform",
@@ -213,6 +231,7 @@ SPECS: dict[str, SweepSpec] = {
         ABLATIONS,
         FLEET,
         FLEET_GEN,
+        FLEET_TIERS,
         PLATFORM,
         GEN,
         SEARCH,
@@ -230,6 +249,7 @@ BENCH_SPECS: dict[str, SweepSpec] = {
         ABLATIONS,
         FLEET,
         FLEET_GEN,
+        FLEET_TIERS,
         PLATFORM,
         GEN,
         SEARCH,

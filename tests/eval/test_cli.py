@@ -258,3 +258,63 @@ def test_cli_search_rejects_budget_below_top_k():
         main(["search", "--seed", "3", "--count", "1", "--duration",
               "1", "--oracle", "two-tier", "--top-k", "5",
               "--screen-budget", "4"])
+
+
+def test_cli_net_tiers_renders_hierarchy(capsys):
+    assert main(["net", "--tiers", "tiers:ftsp@5x2/rbs@1x3:dense-ward",
+                 "--duration", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Hierarchy: tiers:ftsp@5x2/rbs@1x3:dense-ward" in out
+    assert "per-tier breakdown" in out
+    assert "backbone" in out and "cluster" in out
+    assert "waves: 1/1" in out
+
+
+def test_cli_net_tiers_artifacts_are_byte_identical(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    argv = ["net", "--tiers", "tiers:ftsp@5x2/rbs@1x3:dense-ward",
+            "--duration", "2", "--json"]
+    assert main(argv + [str(a)]) == 0
+    assert main(argv + [str(b), "--workers", "2", "--wave", "1"]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+    payload = json.loads(a.read_text())
+    assert payload["schema"] == "repro-net/3"
+    assert payload["n_nodes"] == 9
+    assert len(payload["tiers"]) == 2
+    assert "nodes" not in payload  # mega-fleets never hold per-node
+
+
+def test_cli_net_tiers_interrupted_run_resumes(tmp_path, capsys):
+    out_json = tmp_path / "net.json"
+    argv = ["net", "--tiers", "tiers:rbs@1x3:dense-ward", "--duration",
+            "2", "--wave", "1", "--checkpoint-dir",
+            str(tmp_path / "ckpt"), "--json", str(out_json)]
+    assert main(argv + ["--max-waves", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "partial: 1/3 subtree(s) folded" in out
+    assert not out_json.exists()  # incomplete runs write no artifact
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "resumed 1 subtree(s) from checkpoint" in out
+    assert out_json.exists()
+    # ... and the resumed artifact matches an uninterrupted one.
+    cold = tmp_path / "cold.json"
+    assert main(["net", "--tiers", "tiers:rbs@1x3:dense-ward",
+                 "--duration", "2", "--json", str(cold)]) == 0
+    capsys.readouterr()
+    assert out_json.read_bytes() == cold.read_bytes()
+
+
+def test_cli_net_tiers_conflicts_with_flat_flags():
+    with pytest.raises(SystemExit):
+        main(["net", "--tiers", "ward-campus", "--nodes", "4"])
+    with pytest.raises(SystemExit):
+        main(["net", "--tiers", "ward-campus", "--protocol", "ftsp"])
+    with pytest.raises(SystemExit):
+        main(["net", "--stream"])  # streaming flags need --tiers
+
+
+def test_cli_net_tiers_rejects_unknown_preset():
+    with pytest.raises(ValueError, match="unknown hierarchy"):
+        main(["net", "--tiers", "mars-campus"])

@@ -342,3 +342,96 @@ def test_render_search_elides_population_scale_tables():
     text = render_search(many, max_rows=8)
     assert "... 52 more outcome(s) elided" in text
     assert "gap over 60 placed app(s)" in text
+
+
+def _hierarchy_fixture():
+    from repro.net.hierarchy import parse_hierarchy
+    from repro.net.stats import TierSummary
+    from repro.net.streaming import HierarchyResult
+
+    error = SyncError(count=120, mean_abs_s=0.004, rms_s=0.005,
+                      max_abs_s=0.009)
+    steady = SyncError(count=60, mean_abs_s=0.002, rms_s=0.0025,
+                       max_abs_s=0.004)
+    free = SyncError(count=120, mean_abs_s=0.040, rms_s=0.050,
+                     max_abs_s=0.090)
+    steady_free = SyncError(count=60, mean_abs_s=0.030, rms_s=0.035,
+                            max_abs_s=0.060)
+    token = "tiers:ftsp@10x2/rbs@2x3:dense-ward"
+    summary = FleetSummary(
+        scenario=token, protocol="ftsp/rbs", n_nodes=9, duration_s=4.0,
+        total_power_uw=900.0, mean_power_uw=100.0, mean_radio_uw=2.5,
+        sync=error, steady_sync=steady, unsync=free,
+        steady_unsync=steady_free, beacons_sent=14, beacons_heard=40,
+        power_loss_resets=1)
+    tiers = (
+        TierSummary(
+            name="backbone", protocol="ftsp", beacon_period_s=10.0,
+            fan_out=2, nodes=2, mean_power_uw=110.0, mean_radio_uw=3.0,
+            repairs=0, beacons_sent=2, beacons_heard=4,
+            power_loss_resets=0, hop_sync=steady,
+            steady_hop_sync=SyncError(count=20, mean_abs_s=0.0005,
+                                      rms_s=0.0006, max_abs_s=0.001),
+            sync=error,
+            steady_sync=SyncError(count=20, mean_abs_s=0.0005,
+                                  rms_s=0.0006, max_abs_s=0.001),
+            unsync=free, steady_unsync=steady_free),
+        TierSummary(
+            name="ward", protocol="rbs", beacon_period_s=2.0,
+            fan_out=3, nodes=6, mean_power_uw=95.0, mean_radio_uw=2.2,
+            repairs=1, beacons_sent=12, beacons_heard=36,
+            power_loss_resets=1, hop_sync=steady,
+            steady_hop_sync=SyncError(count=40, mean_abs_s=0.0012,
+                                      rms_s=0.0015, max_abs_s=0.003),
+            sync=error,
+            steady_sync=SyncError(count=40, mean_abs_s=0.0021,
+                                  rms_s=0.0024, max_abs_s=0.004),
+            unsync=free, steady_unsync=steady_free),
+    )
+    return HierarchyResult(
+        spec=parse_hierarchy(token), token=token, seed=7,
+        duration_s=4.0, wave_size=2, subtrees=2, subtrees_done=2,
+        resumed_subtrees=0, waves=1, waves_run=1, completed=True,
+        checkpoint="", summary=summary, tiers=tiers, elapsed_s=0.5,
+        nodes_per_second=16.0, workers=1, mode="streaming",
+        peak_rss_mb=42.0)
+
+
+def test_render_hierarchy_golden():
+    """The per-tier breakdown block is pinned byte-for-byte."""
+    from repro.eval.report import render_hierarchy
+
+    expected = dedent("""\
+        Hierarchy: tiers:ftsp@10x2/rbs@2x3:dense-ward (9 nodes, 2 tier(s), 4 s, 1 worker(s), streaming)
+          Metric                       no sync      tiered
+          ----------------------------------------------
+          Mean node power (uW)           100.0       100.0
+          Radio power (uW)                2.50        2.50
+          Beacons sent                      14          14
+          Beacons heard                     40          40
+          Power-loss resets                  1           1
+          Sync err mean (ms)             40.00        4.00
+          Sync err RMS (ms)              50.00        5.00
+          Steady err mean (ms)           30.00        2.00
+          Steady err max (ms)            60.00        4.00
+          steady-state error reduced 15.0x across 2 hop(s)
+          per-tier breakdown (nodes, proto, period s, hop err ms, eff err ms):
+            backbone           2  ftsp    10.0    0.50    0.50
+            ward               6  rbs      2.0    1.20    2.10
+          waves: 1/1 wave(s) x 2 subtree(s)
+          throughput: 16.0 nodes/s (0.50 s, peak rss 42 MB)""")
+    assert render_hierarchy(_hierarchy_fixture()) == expected
+
+
+def test_render_hierarchy_partial_run_golden():
+    """Interrupted runs surface resume and partial-fold lines."""
+    from repro.eval.report import render_hierarchy
+
+    partial = replace(
+        _hierarchy_fixture(), subtrees_done=1, resumed_subtrees=1,
+        completed=False, waves_run=0, checkpoint="ck/stream-abc.json")
+    text = render_hierarchy(partial)
+    assert "resumed 1 subtree(s) from checkpoint" in text
+    assert ("partial: 1/2 subtree(s) folded - rerun with the same "
+            "checkpoint dir to finish") in text
+    assert "waves: 0/1 wave(s) x 2 subtree(s)" in text

@@ -1,0 +1,141 @@
+"""Streaming executor tests: invariance, checkpoints, degeneracy."""
+
+import json
+
+import pytest
+
+from repro.eval.netexp import hierarchy_payload
+from repro.net.hierarchy import HierarchySpec, parse_hierarchy
+from repro.net.scenarios import get_scenario
+from repro.net.streaming import (
+    StreamingConfig,
+    StreamingRunner,
+    run_streaming,
+)
+
+#: Small two-tier fixture: 3 subtrees of 1 gateway + 4 leaves each.
+TOKEN = "tiers:ftsp@5x3/rbs@1x4:dense-ward"
+
+
+def _run(**kwargs):
+    kwargs.setdefault("duration_s", 2.0)
+    kwargs.setdefault("seed", 7)
+    return run_streaming(TOKEN, **kwargs)
+
+
+def test_wave_size_does_not_change_the_result():
+    whole = _run()
+    wave1 = _run(wave_size=1)
+    wave2 = _run(wave_size=2)
+    assert whole.wave_size == 3  # one wave covers every subtree
+    assert wave1.waves == 3 and wave2.waves == 2
+    assert wave1.summary == whole.summary == wave2.summary
+    assert wave1.tiers == whole.tiers == wave2.tiers
+
+
+def test_worker_count_does_not_change_the_result():
+    serial = _run(workers=1)
+    parallel = _run(workers=2)
+    assert parallel.summary == serial.summary
+    assert parallel.tiers == serial.tiers
+
+
+def test_summary_counts_match_the_spec_shape():
+    result = _run()
+    spec = parse_hierarchy(TOKEN)
+    assert result.completed
+    assert result.summary.n_nodes == spec.n_nodes == 16
+    assert result.summary.protocol == "ftsp/rbs"
+    assert [t.nodes for t in result.tiers] == [3, 12]
+    assert result.summary.beacons_heard == sum(
+        t.beacons_heard for t in result.tiers)
+    # Effective leaf error compounds the gateway hop, so the merged
+    # fleet error can never beat the best single tier's hop error.
+    assert result.summary.sync.count == sum(
+        t.sync.count for t in result.tiers)
+
+
+def test_checkpoint_resume_is_byte_identical_to_cold(tmp_path):
+    cold = _run()
+    interrupted = _run(wave_size=1, checkpoint_dir=tmp_path, max_waves=2)
+    assert not interrupted.completed
+    assert interrupted.subtrees_done == 2
+    assert (tmp_path / interrupted.checkpoint.split("/")[-1]).exists()
+    resumed = _run(wave_size=1, checkpoint_dir=tmp_path)
+    assert resumed.completed
+    assert resumed.resumed_subtrees == 2
+    assert resumed.summary == cold.summary
+    assert resumed.tiers == cold.tiers
+    cold_doc = json.dumps(hierarchy_payload(cold), sort_keys=True)
+    resumed_doc = json.dumps(hierarchy_payload(resumed), sort_keys=True)
+    assert resumed_doc == cold_doc
+
+
+def test_resume_mid_wave_boundary_mismatch_is_fine(tmp_path):
+    """A checkpoint taken at wave size 1 resumes under wave size 2."""
+    cold = _run()
+    _run(wave_size=1, checkpoint_dir=tmp_path, max_waves=1)
+    resumed = _run(wave_size=2, checkpoint_dir=tmp_path)
+    assert resumed.resumed_subtrees == 1
+    assert resumed.summary == cold.summary
+    assert resumed.tiers == cold.tiers
+
+
+def test_corrupt_checkpoint_is_ignored(tmp_path):
+    interrupted = _run(wave_size=1, checkpoint_dir=tmp_path, max_waves=1)
+    path = tmp_path / interrupted.checkpoint.split("/")[-1]
+    path.write_text("{not json", encoding="utf-8")
+    resumed = _run(wave_size=1, checkpoint_dir=tmp_path)
+    assert resumed.resumed_subtrees == 0  # started over, not trusted
+    assert resumed.summary == _run().summary
+
+
+def test_checkpoint_identity_keys_on_seed_and_duration(tmp_path):
+    _run(wave_size=1, checkpoint_dir=tmp_path, max_waves=2)
+    other_seed = _run(seed=8, wave_size=1, checkpoint_dir=tmp_path)
+    assert other_seed.resumed_subtrees == 0
+    other_duration = _run(duration_s=1.0, wave_size=1,
+                          checkpoint_dir=tmp_path)
+    assert other_duration.resumed_subtrees == 0
+
+
+def test_completed_checkpoint_short_circuits_the_rerun(tmp_path):
+    done = _run(checkpoint_dir=tmp_path)
+    again = _run(checkpoint_dir=tmp_path)
+    assert again.resumed_subtrees == again.subtrees
+    assert again.summary == done.summary
+
+
+def test_rootless_hierarchy_is_degenerate_but_valid():
+    spec = HierarchySpec(name="solo", base=get_scenario("dense-ward"))
+    result = run_streaming(spec, duration_s=2.0)
+    assert result.completed
+    assert result.subtrees == result.waves == 0
+    assert result.summary.n_nodes == 1
+    assert result.summary.protocol == "none"
+    assert result.summary.sync.count == 0
+    assert result.tiers == ()
+    assert result.summary.total_power_uw > 0  # the root still runs
+
+
+def test_single_tier_hierarchy_runs():
+    result = run_streaming("tiers:rbs@1x3:dense-ward", duration_s=2.0)
+    assert result.summary.n_nodes == 4
+    assert len(result.tiers) == 1
+    assert result.tiers[0].beacons_sent > 0
+
+
+def test_config_validation():
+    spec = parse_hierarchy(TOKEN)
+    with pytest.raises(ValueError):
+        StreamingConfig(spec=spec, duration_s=0.0)
+    with pytest.raises(ValueError):
+        StreamingConfig(spec=spec, wave_size=0)
+
+
+def test_checkpointing_unserialisable_specs_is_rejected(tmp_path):
+    nameless = HierarchySpec(name="ad-hoc",
+                             base=get_scenario("dense-ward"))
+    with pytest.raises(ValueError, match="token-serialisable"):
+        StreamingRunner(StreamingConfig(
+            spec=nameless, checkpoint_dir=tmp_path)).run()
