@@ -12,7 +12,13 @@ emitted outside ``run_all.py`` join the gate via ``--merge``.
 The baseline records *conservative* throughput floors (well below a
 typical developer machine) so the gate only trips on genuine
 regressions — an accidentally quadratic hot path, a sweep that stopped
-caching — not on CI-runner jitter.  Refresh it with::
+caching — not on CI-runner jitter.
+
+The benches run without a ``repro.obs`` collector (nothing activates
+one), so the throughput floors double as the no-op overhead gate of
+the instrumentation layer: if the default-off recording calls ever
+stop being cheap early returns, ``sim_s_per_s`` drops and this gate
+trips.  Refresh the baseline with::
 
     python benchmarks/run_all.py --out-dir bench-out --no-cache
     python benchmarks/check_regression.py bench-out/BENCH_all.json \

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 
+from .. import obs
 from ..gen.policies import POLICIES
 from ..gen.topology import FAMILY_ORDER
 from ..net.fleet import DEFAULT_SEED
@@ -119,6 +120,14 @@ def _add_duration(parser: argparse.ArgumentParser,
         help=f"simulated seconds (default: {default_hint})")
 
 
+def _add_metrics(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", nargs="?", const="", default=None, metavar="PATH",
+        help="collect run metrics and print them after the report; "
+             "with PATH, also write the repro-metrics/1 artifact "
+             "there")
+
+
 def _add_net_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scenario", choices=sorted(SCENARIOS), default=None,
@@ -152,11 +161,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        ("all", "run every experiment")):
         sub = commands.add_parser(name, help=text)
         _add_duration(sub, paper_default)
+        _add_metrics(sub)
         if name == "all":
             _add_net_flags(sub)
     net = commands.add_parser(
         "net", help="run the fleet network experiment")
     _add_duration(net, f"{NET_DURATION_S:g} s")
+    _add_metrics(net)
     _add_net_flags(net)
     net.add_argument(
         "--suite-seed", type=int, default=None, metavar="SEED",
@@ -235,6 +246,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--list", action="store_true",
         help="list built-in campaigns and exit")
+    _add_metrics(sweep)
 
     gen = commands.add_parser(
         "gen", help="explore generated synthetic workloads")
@@ -261,6 +273,7 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the deterministic exploration artifact here")
+    _add_metrics(gen)
 
     search = commands.add_parser(
         "search", help="search generated apps for better placements")
@@ -308,6 +321,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="write the deterministic repro-search/1 artifact here "
              "(repro-search/2 with --oracle two-tier)")
+    _add_metrics(search)
     return parser
 
 
@@ -333,10 +347,10 @@ def _run_sweep_command(args: argparse.Namespace) -> str:
     return render_sweep(result)
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Run the requested experiment and print its report."""
-    parser = _build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> int:
+    """Run the parsed experiment and print its report."""
     experiment = args.experiment
 
     if experiment == "sweep":
@@ -440,6 +454,30 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(render_net(report))
     print("\n\n".join(sections))
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the experiment, optionally emit metrics.
+
+    Without ``--metrics`` no collector is activated, so the run pays
+    nothing for instrumentation.  With it, the whole experiment runs
+    under one :func:`repro.obs.collecting` registry; the metrics table
+    is printed after the report and, when a PATH was given, the
+    ``repro-metrics/1`` artifact is written there.
+    """
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    metrics = getattr(args, "metrics", None)
+    if metrics is None:
+        return _dispatch(parser, args)
+    with obs.collecting() as registry:
+        status = _dispatch(parser, args)
+    print()
+    print(obs.render_metrics(registry))
+    if metrics:
+        obs.write_metrics_json(registry, metrics,
+                               experiment=args.experiment)
+    return status
 
 
 if __name__ == "__main__":

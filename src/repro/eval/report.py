@@ -348,7 +348,8 @@ def render_sweep(result: "SweepResult", max_rows: int = 48) -> str:
         lines.append(f"  ... {elided} more point(s) elided")
     lines.append(
         f"  cache: {result.cache_hits} hit(s), "
-        f"{result.cache_misses} miss(es)"
+        f"{result.cache_misses} miss(es), "
+        f"{result.cache_stores} store(s)"
         + (f" [{result.fingerprint}]" if result.fingerprint else
            " (disabled)")
     )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from .. import obs
 from ..apps.mapping import MappingError
 from ..apps.phases import AppSpec, Trigger
 from ..sysc.engine import Mode, simulate, uniform_schedule
@@ -152,12 +153,19 @@ def evaluate_app(app: AppSpec, policy_name: str, num_cores: int = 8,
         candidate, repairs = repair_app(app, num_cores)
     base = dict(app=app.name, token=token, family=family,
                 policy=policy_name, num_cores=num_cores)
+    obs.add("gen.points")
+    if repairs:
+        obs.add("gen.repairs", repairs)
     try:
         plan = policy.map(candidate, num_cores)
     except MappingError as exc:
+        obs.add(f"gen.status.{STATUS_REJECTED}")
         return ExplorationRecord(
             **base, status=STATUS_REJECTED, repairs=repairs,
             error=str(exc))
+    obs.add(
+        f"gen.status.{STATUS_REPAIRED if repairs else STATUS_OK}"
+    )
     mode = Mode.MULTI_CORE if policy.multicore else Mode.SINGLE_CORE
     has_triggered = any(phase.trigger is Trigger.ON_ABNORMAL
                         for phase in candidate.phases)
@@ -238,6 +246,8 @@ def screen_policies(app: AppSpec,
         try:
             plan = policy.map(repaired, num_cores)
         except MappingError as exc:
+            obs.add("gen.points")
+            obs.add(f"gen.status.{STATUS_REJECTED}")
             records[name] = ExplorationRecord(
                 **base, policy=name, status=STATUS_REJECTED,
                 repairs=repairs, error=str(exc))
@@ -247,6 +257,7 @@ def screen_policies(app: AppSpec,
         model = AnalyticModel(repaired, num_cores=num_cores,
                               kind="power", duration_s=duration_s)
         scores = model.score([candidate for _, candidate in feasible])
+        obs.add("gen.screen.scored", len(feasible))
         kept = set(keep_top_k(scores.cost, top_k))
         for index, (name, _) in enumerate(feasible):
             if index in kept:
@@ -255,6 +266,8 @@ def screen_policies(app: AppSpec,
                     duration_s=duration_s, token=token, family=family)
                 continue
             metrics = scores.metrics(index)
+            obs.add("gen.points")
+            obs.add(f"gen.status.{STATUS_SCREENED}")
             records[name] = ExplorationRecord(
                 **base, policy=name, status=STATUS_SCREENED,
                 repairs=repairs,

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, ClassVar
 
+from .. import obs
 from ..apps import rp_class, three_lead_mf, three_lead_mmd
 from ..apps.mapping import MappingError, MappingPlan, plan_required_mhz
 from ..apps.phases import AppSpec
@@ -155,6 +156,12 @@ def _resolve_generated(
     changes results — it only keeps a fleet from re-running the same
     placement for every node that drew the same token.
 
+    Metrics collection is suspended for the body: the memoised
+    resolution (which may run a whole placement *search*) executes a
+    process-dependent number of times, so only the deterministic
+    per-draw counters in :meth:`GeneratedSuiteSource.bind` are
+    recorded.
+
     Raises:
         repro.apps.mapping.MappingError: the policy cannot place the
             app even after replica repair.
@@ -164,13 +171,14 @@ def _resolve_generated(
     from ..gen.generator import app_from_token
     from ..gen.policies import get_policy
 
-    policy = get_policy(policy_name)
-    app = app_from_token(token)
-    repairs = 0
-    if policy.multicore:
-        app, repairs = repair_app(app, num_cores)
-    plan = policy.map(app, num_cores)
-    return app, plan, repairs
+    with obs.suspended():
+        policy = get_policy(policy_name)
+        app = app_from_token(token)
+        repairs = 0
+        if policy.multicore:
+            app, repairs = repair_app(app, num_cores)
+        plan = policy.map(app, num_cores)
+        return app, plan, repairs
 
 
 @dataclass(frozen=True)
@@ -239,6 +247,9 @@ class GeneratedSuiteSource:
                 continue
             family, _, _ = parse_app_token(token)
             floor = plan_required_mhz(plan) if plan.multicore else 0.0
+            obs.add("net.apps.resolved")
+            if offset:
+                obs.add("net.apps.skipped", offset)
             return AppBinding(
                 name=app.name,
                 app=app,

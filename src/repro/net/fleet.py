@@ -18,9 +18,9 @@ Wall-clock timing (elapsed seconds, nodes/second) is reported on
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from .. import obs
 from ..parallel import even_shard_size, pool_map, shard
 from .node import (
     ERROR_SAMPLE_HZ,
@@ -148,12 +148,14 @@ class FleetRunner:
 
         parallel = workers > 1 and len(shards) > 1
         workers_used = min(workers, len(shards)) if parallel else 1
-        start = time.perf_counter()
+        obs.add("net.fleet.runs")
+        obs.add("net.fleet.nodes", config.n_nodes)
+        span = obs.span("net.fleet.run").start()
         if parallel:
             batches = pool_map(_simulate_shard, payloads, workers_used)
         else:
             batches = [_simulate_shard(payload) for payload in payloads]
-        elapsed = time.perf_counter() - start
+        elapsed = span.stop()
 
         results = sorted(
             (node for batch in batches for node in batch),

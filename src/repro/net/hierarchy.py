@@ -42,6 +42,7 @@ import random
 from dataclasses import dataclass
 from functools import lru_cache
 
+from .. import obs
 from .appsource import APPS, AppBinding, _resolve_generated
 from .clock import ClockSpec, LocalClock
 from .radio import Reception
@@ -481,30 +482,36 @@ def _profile_power_uw(
     their token through the same memoised resolution fleets use,
     benchmarks rebuild from the registry.  Radio power is *not*
     included — callers add their own exact per-node radio figure.
+
+    Metrics collection is suspended for the body: how often the
+    memoised profile actually *executes* depends on per-process cache
+    state (worker counts, resume points), so only the deterministic
+    request counter in :func:`binding_power_uw` is recorded.
     """
     from ..sysc.engine import Mode, simulate, uniform_schedule
 
-    if token:
-        app, plan, _ = _resolve_generated(token, policy, num_cores)
-    else:
-        app, plan = APPS[name](ratio), None
-    schedule = uniform_schedule(
-        duration_s, app.fs, bpm=bpm, abnormal_ratio=ratio
-    )
-    mode = (
-        Mode.MULTI_CORE
-        if plan is None or plan.multicore
-        else Mode.SINGLE_CORE
-    )
-    result = simulate(
-        app,
-        mode,
-        schedule,
-        duration_s=duration_s,
-        num_cores=num_cores,
-        mapping=plan,
-    )
-    return result.power.total_uw
+    with obs.suspended():
+        if token:
+            app, plan, _ = _resolve_generated(token, policy, num_cores)
+        else:
+            app, plan = APPS[name](ratio), None
+        schedule = uniform_schedule(
+            duration_s, app.fs, bpm=bpm, abnormal_ratio=ratio
+        )
+        mode = (
+            Mode.MULTI_CORE
+            if plan is None or plan.multicore
+            else Mode.SINGLE_CORE
+        )
+        result = simulate(
+            app,
+            mode,
+            schedule,
+            duration_s=duration_s,
+            num_cores=num_cores,
+            mapping=plan,
+        )
+        return result.power.total_uw
 
 
 def binding_power_uw(
@@ -519,6 +526,7 @@ def binding_power_uw(
     the deliberate accuracy/scale trade of the hierarchy layer.
     """
     bpm = (base.bpm_range[0] + base.bpm_range[1]) / 2.0
+    obs.add("net.profile.requests")
     return _profile_power_uw(
         binding.token,
         binding.name,

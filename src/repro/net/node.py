@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from .. import obs
 from ..apps.phases import AppSpec
 from ..power.energy import PowerReport
 from ..sysc.engine import Mode, simulate, uniform_schedule
@@ -206,6 +207,9 @@ class NetworkNode:
             )
 
         radio_uw = energy.average_uw(self.scenario.radio, self.duration_s)
+        obs.add("net.node.simulations")
+        if heard:
+            obs.add("net.node.beacons_heard", heard)
         power = result.power
         power.categories["radio"] = radio_uw
         return NodeResult(

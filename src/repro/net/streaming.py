@@ -23,6 +23,14 @@ identity resumes from the recorded subtree index and — because the
 fold sequence is the same one a cold run performs — produces a
 byte-identical artifact.  Stale or corrupt state files are ignored,
 never trusted.
+
+When metrics collection is active (:mod:`repro.obs`), the checkpoint
+additionally persists the *counter delta* this run accumulated past
+the per-run preamble (root build, schedule precompute), so a resumed
+``--metrics`` run merges the killed run's counters back in and its
+deterministic sections come out byte-identical to a cold run's.
+Checkpoint write/load bookkeeping itself is recorded as timings only
+(cold and resumed runs necessarily differ there).
 """
 
 from __future__ import annotations
@@ -31,10 +39,10 @@ import hashlib
 import json
 import os
 import sys
-import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from .. import obs
 from ..parallel import pool_map
 from .fleet import DEFAULT_DURATION_S, DEFAULT_SEED
 from .hierarchy import (
@@ -381,8 +389,13 @@ class StreamingRunner:
 
     def _load(
         self, path: Path, token: str
-    ) -> tuple[list[_TierState], int] | None:
-        """Restore a partial merge; ``None`` when absent or stale."""
+    ) -> tuple[list[_TierState], int, dict | None] | None:
+        """Restore a partial merge; ``None`` when absent or stale.
+
+        The third element is the killed run's deterministic metrics
+        delta (``None`` for checkpoints written without collection —
+        the optional ``obs`` key keeps old state files loadable).
+        """
         try:
             doc = json.loads(path.read_text(encoding="utf-8"))
             if doc["identity"] != self._identity(token):
@@ -392,14 +405,22 @@ class StreamingRunner:
                 return None
             state = [_TierState.from_mapping(data) for data in tiers]
             done = int(doc["subtrees_done"])
+            saved_obs = doc.get("obs")
+            if saved_obs is not None and not isinstance(saved_obs, dict):
+                return None
         except (OSError, ValueError, KeyError, TypeError):
             return None
         if not 0 <= done <= self.config.spec.subtrees:
             return None
-        return state, done
+        return state, done, saved_obs
 
     def _write(
-        self, path: Path, token: str, done: int, state: list[_TierState]
+        self,
+        path: Path,
+        token: str,
+        done: int,
+        state: list[_TierState],
+        obs_delta: dict | None = None,
     ) -> None:
         """Atomically persist the partial merge (tmp + rename)."""
         doc = {
@@ -407,6 +428,8 @@ class StreamingRunner:
             "subtrees_done": done,
             "tiers": [asdict(part) for part in state],
         }
+        if obs_delta is not None:
+            doc["obs"] = obs_delta
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
         tmp = path.with_suffix(".tmp")
@@ -464,20 +487,33 @@ class StreamingRunner:
         done = 0
         resumed = 0
         checkpoint = None
+        registry = obs.active()
+        # Counter baseline for the checkpointed delta: the preamble
+        # above (root build, schedule precompute) re-runs identically
+        # in every run — cold or resumed — so only counters recorded
+        # past this point belong to the persisted delta.
+        base = registry.deterministic() if registry is not None else None
         if config.checkpoint_dir is not None:
             checkpoint = self._checkpoint_path(token)
-            loaded = self._load(checkpoint, token)
+            with obs.span("net.stream.checkpoint.load"):
+                loaded = self._load(checkpoint, token)
             if loaded is not None:
-                state, done = loaded
+                state, done, saved_obs = loaded
                 resumed = done
+                if registry is not None and saved_obs is not None:
+                    registry.merge(saved_obs)
 
-        start = time.perf_counter()
+        run_span = obs.span("net.stream.run").start()
         executed = 0
         waves_run = 0
         while done < subtrees:
             if max_waves is not None and waves_run >= max_waves:
                 break
             count = min(wave_size, subtrees - done)
+            obs.add("net.stream.waves")
+            obs.add("net.stream.subtrees", count)
+            obs.add("net.stream.nodes", count * spec.subtree_nodes)
+            obs.gauge("net.stream.wave_size", wave_size)
             payloads = [
                 (
                     spec,
@@ -491,17 +527,22 @@ class StreamingRunner:
                 )
                 for index in range(done, done + count)
             ]
-            for parts in pool_map(
-                _simulate_subtree, payloads, min(workers, count)
-            ):
-                for tier_state, part in zip(state, parts):
-                    tier_state.fold(part)
+            with obs.span("net.stream.wave"):
+                for parts in pool_map(
+                    _simulate_subtree, payloads, min(workers, count)
+                ):
+                    for tier_state, part in zip(state, parts):
+                        tier_state.fold(part)
             done += count
             executed += count
             waves_run += 1
             if checkpoint is not None:
-                self._write(checkpoint, token, done, state)
-        elapsed = time.perf_counter() - start
+                delta = None
+                if registry is not None:
+                    delta = obs.counter_delta(base, registry.deterministic())
+                with obs.span("net.stream.checkpoint.write"):
+                    self._write(checkpoint, token, done, state, delta)
+        elapsed = run_span.stop()
 
         root_energy = RadioEnergy()
         root_energy.tx_messages = len(beacons)

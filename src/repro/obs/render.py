@@ -1,0 +1,80 @@
+"""Tree-view text rendering of a metrics registry.
+
+Counters render as an indented tree over their dotted-name segments
+(so ``engine.beats.abnormal`` nests under ``engine`` / ``beats``);
+gauges and timings are short flat lists.  Output is a pure function
+of the registry contents — the golden render test pins it
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from .registry import MetricsRegistry
+
+__all__ = ["render_metrics"]
+
+
+def _tree(names: dict) -> dict:
+    """Nest dotted names: segment -> {"value": .., "children": {..}}."""
+    root: dict = {}
+    for name in sorted(names):
+        node = root
+        parts = name.split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {"value": None, "children": {}})
+            node = node["children"]
+        leaf = node.setdefault(parts[-1], {"value": None, "children": {}})
+        leaf["value"] = names[name]
+    return root
+
+
+def _tree_rows(
+    node: dict, depth: int, rows: list[tuple[int, str, str]]
+) -> None:
+    for name in sorted(node):
+        entry = node[name]
+        value = entry["value"]
+        rows.append(
+            (depth, name, "" if value is None else f"{value:,}")
+        )
+        _tree_rows(entry["children"], depth + 1, rows)
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Render one registry as an indented tree plus flat timing rows."""
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    timings = snapshot["timings"]
+    lines = [
+        f"Metrics: {len(counters)} counter(s), {len(gauges)} "
+        f"gauge(s), {len(timings)} timer(s)"
+    ]
+    if counters:
+        rows: list[tuple[int, str, str]] = []
+        _tree_rows(_tree(counters), 0, rows)
+        labels = [
+            "  " * depth + name for depth, name, _ in rows
+        ]
+        label_width = max(len(label) for label in labels)
+        value_width = max(len(value) for _, _, value in rows)
+        lines.append("  counters:")
+        for label, (_, _, value) in zip(labels, rows):
+            pad = label_width - len(label) + value_width
+            lines.append(f"    {label}  {value.rjust(pad)}".rstrip())
+    if gauges:
+        lines.append("  gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"    {name.ljust(width)}  {gauges[name]:g}")
+    if timings:
+        lines.append("  timings (wall-clock; excluded from determinism):")
+        width = max(len(name) for name in timings)
+        for name in sorted(timings):
+            entry = timings[name]
+            lines.append(
+                f"    {name.ljust(width)}  {entry['count']:>5} call(s)"
+                f"  {entry['total_s']:>9.3f} s total"
+                f"  {entry['max_s']:>8.3f} s max"
+            )
+    return "\n".join(lines)

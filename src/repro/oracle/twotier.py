@@ -18,6 +18,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..apps.mapping import MappingPlan
 from ..apps.phases import AppSpec
 from ..isa.layout import ImGeometry
@@ -156,6 +157,11 @@ class TwoTierOracle:
         stats = ScreenStats(screened=screened, simulated=simulated,
                             agreement=agreement)
         self.stats.append(stats)
+        obs.add("oracle.screen.calls")
+        obs.add("oracle.screen.screened", screened)
+        obs.add("oracle.screen.simulated", simulated)
+        if agreement:
+            obs.add("oracle.screen.agreed")
         return stats
 
     def screen(self, app: AppSpec, candidates: Sequence[Candidate],

@@ -7,6 +7,13 @@ into contiguous shards, execute them on a :mod:`multiprocessing` pool
 (or inline), and merge results in a fixed order so serial and parallel
 execution are indistinguishable.  The platform-sensitive policy (fork
 on Linux, the platform default elsewhere) lives here, once.
+
+When metrics collection is active (:mod:`repro.obs`), worker payloads
+are wrapped so each worker collects into its own fresh registry and
+ships a snapshot back beside its result; the parent merges snapshots
+in payload index order.  Counters are integers merged by addition and
+gauges max-merge, so the merged registry is identical for any worker
+count — the property the metrics determinism tests pin down.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import math
 import multiprocessing
 import sys
 from typing import Callable, Sequence, TypeVar
+
+from . import obs
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -35,6 +44,23 @@ def even_shard_size(count: int, workers: int) -> int:
     return max(1, math.ceil(count / workers)) if count else 1
 
 
+def _observed(payload: tuple) -> tuple:
+    """Run one wrapped payload under a fresh worker-local registry.
+
+    Top-level so it pickles under spawn.  Under fork the worker
+    *inherits* the parent's active registry; activating a fresh one
+    here replaces it, so worker events are collected exactly once —
+    in the worker — and merged exactly once — in the parent.
+    """
+    fn, item = payload
+    registry = obs.activate()
+    try:
+        result = fn(item)
+    finally:
+        obs.deactivate()
+    return result, registry.snapshot()
+
+
 def pool_map(
     fn: Callable[[Item], Result],
     payloads: Sequence[Item],
@@ -45,7 +71,11 @@ def pool_map(
     Empty payload lists and single-worker calls never touch
     :mod:`multiprocessing`: fully cached sweeps over generated apps
     (zero surviving points) and serial runs execute inline, with no
-    pool start-up cost and no pickling requirement.
+    pool start-up cost and no pickling requirement.  Inline execution
+    records metrics (when collection is active) straight into the
+    caller's registry; pooled execution wraps each payload through
+    :func:`_observed` and merges the returned snapshots in payload
+    index order.
 
     fork is the cheap path but is only reliably safe on Linux (macOS
     lists it as available, yet forking with numpy/Accelerate loaded
@@ -58,10 +88,20 @@ def pool_map(
         return []
     if workers == 1:
         return [fn(payload) for payload in payloads]
+    registry = obs.active()
     use_fork = (
         sys.platform.startswith("linux")
         and "fork" in multiprocessing.get_all_start_methods()
     )
     ctx = multiprocessing.get_context("fork" if use_fork else None)
     with ctx.Pool(processes=workers) as pool:
-        return pool.map(fn, payloads)
+        if registry is None:
+            return pool.map(fn, payloads)
+        wrapped = pool.map(
+            _observed, [(fn, payload) for payload in payloads]
+        )
+    results = []
+    for result, snapshot in wrapped:
+        registry.merge(snapshot)
+        results.append(result)
+    return results

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..apps.mapping import MappingError, MappingPlan
 from ..apps.phases import AppSpec
 from ..gen.explorer import (
@@ -248,15 +249,18 @@ def search_mapping(app: AppSpec, num_cores: int = 8,
 
     memo: dict[Candidate, tuple[float, dict]] = {}
     evaluations = 0
+    memo_hits = 0
 
     def cost_of(candidate: Candidate) -> tuple[float, dict]:
-        nonlocal evaluations
+        nonlocal evaluations, memo_hits
         hit = memo.get(candidate)
         if hit is None:
             plan = plan_from_candidate(candidate_app, candidate)
             hit = oracle.evaluate(candidate_app, plan, num_cores)
             memo[candidate] = hit
             evaluations += 1
+        else:
+            memo_hits += 1
         return hit
 
     if screens:
@@ -296,6 +300,10 @@ def search_mapping(app: AppSpec, num_cores: int = 8,
         start_policy = name
         break  # first feasible policy wins; paper is tried first
     if start is None:
+        obs.add("search.walks")
+        obs.add("search.rejected")
+        if repairs:
+            obs.add("search.repairs", repairs)
         return SearchOutcome(**base, status=STATUS_REJECTED,
                              repairs=repairs, error=error)
 
@@ -351,6 +359,16 @@ def search_mapping(app: AppSpec, num_cores: int = 8,
         oracle.record(screened, len(verify), screen_agreement)
 
     best_cost, best_metrics = cost_of(best)
+    obs.add("search.walks")
+    obs.add("search.proposals", iterations)
+    obs.add("search.accepted", accepted)
+    obs.add("search.infeasible", infeasible)
+    obs.add("search.evaluations", evaluations)
+    obs.add("search.memo_hits", memo_hits)
+    if repairs:
+        obs.add("search.repairs", repairs)
+    if screens:
+        obs.add("search.screened", screened)
     reference = paper_cost if paper_feasible else start_cost
     gap = (reference - best_cost) / reference if reference > 0 else 0.0
     return SearchOutcome(

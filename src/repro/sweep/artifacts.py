@@ -8,7 +8,8 @@ schema (``repro-bench/1``)::
       "name": "table1",
       "spec": {"name": ..., "runner": ..., "axes": {...}, "base": {...}},
       "points": 6,
-      "cache": {"hits": 0, "misses": 6, "fingerprint": "ab12..."},
+      "cache": {"hits": 0, "misses": 6, "stores": 6,
+                "fingerprint": "ab12..."},
       "wall_s": 1.84,            # wall-clock of the sweep call
       "executed_wall_s": 1.79,   # summed runner time of the misses
       "simulated_s": 90.0,       # simulated seconds covered
@@ -97,6 +98,7 @@ def bench_payload(result: SweepResult, name: str | None = None) -> dict:
         "cache": {
             "hits": result.cache_hits,
             "misses": result.cache_misses,
+            "stores": result.cache_stores,
             "fingerprint": result.fingerprint,
         },
         "wall_s": result.elapsed_s,
@@ -197,6 +199,10 @@ def merge_bench(payloads: dict[str, dict]) -> dict:
             ),
             "misses": sum(
                 payload["cache"]["misses"] for payload in payloads.values()
+            ),
+            "stores": sum(
+                payload["cache"].get("stores", 0)
+                for payload in payloads.values()
             ),
         },
         "wall_s": wall,

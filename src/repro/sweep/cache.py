@@ -30,6 +30,7 @@ from pathlib import Path
 
 import repro
 
+from .. import obs
 from .spec import Value, point_key
 
 #: Environment variable overriding the default cache root.
@@ -96,6 +97,15 @@ class ResultCache:
         next :meth:`put` overwrites them).
         """
         path = self._path(point_key(runner, point))
+        entry = self._read(path)
+        if entry is not None:
+            obs.add("sweep.cache.hit")
+        else:
+            obs.add("sweep.cache.miss")
+        return entry
+
+    @staticmethod
+    def _read(path: Path) -> dict | None:
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
@@ -116,6 +126,7 @@ class ResultCache:
         wall_s: float,
     ) -> dict:
         """Store one result atomically and return the entry written."""
+        obs.add("sweep.cache.store")
         key = point_key(runner, point)
         entry = {
             "schema": ENTRY_SCHEMA,

@@ -16,9 +16,9 @@ only the new work.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from .. import obs
 from ..parallel import even_shard_size, pool_map, shard
 from .cache import ResultCache
 from .runners import get_runner
@@ -75,6 +75,8 @@ class SweepResult:
         mode: ``"serial"`` or ``"parallel"``.
         fingerprint: code fingerprint the results are keyed under
             (empty when caching is disabled).
+        cache_stores: executed points written back to the cache (0
+            when caching is disabled).
     """
 
     spec: SweepSpec
@@ -86,6 +88,7 @@ class SweepResult:
     shards: int
     mode: str
     fingerprint: str
+    cache_stores: int = 0
 
     @property
     def n_points(self) -> int:
@@ -117,9 +120,9 @@ def _execute_point(
 ) -> tuple[dict[str, Value], float]:
     """Run one point, returning (metrics, runner wall seconds)."""
     runner = get_runner(runner_name)
-    start = time.perf_counter()
-    metrics = runner(point)
-    return metrics, time.perf_counter() - start
+    with obs.span("sweep.point") as span:
+        metrics = runner(point)
+    return metrics, span.elapsed_s
 
 
 def _run_shard(payload: tuple) -> list[tuple[int, dict, float]]:
@@ -160,7 +163,7 @@ def run_sweep(
     if workers < 1:
         raise ValueError("need at least one worker")
     get_runner(spec.runner)  # validate the family before any work
-    start = time.perf_counter()
+    run_span = obs.span("sweep.run").start()
     if use_cache and cache is None:
         cache = ResultCache()
     elif not use_cache:
@@ -198,11 +201,13 @@ def run_sweep(
     else:
         batches = [_run_shard(payload) for payload in payloads]
 
+    stores = 0
     for batch in batches:
         for index, metrics, wall_s in batch:
             point = points[index]
             if cache is not None:
                 cache.put(spec.runner, point, metrics, wall_s)
+                stores += 1
             slots[index] = PointResult(
                 index=index,
                 point=point,
@@ -214,14 +219,18 @@ def run_sweep(
 
     results = tuple(slot for slot in slots if slot is not None)
     assert len(results) == len(points)
+    obs.add("sweep.runs")
+    obs.add("sweep.points", len(points))
+    obs.add("sweep.points.executed", len(misses))
     return SweepResult(
         spec=spec,
         results=results,
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=run_span.stop(),
         cache_hits=len(points) - len(misses),
         cache_misses=len(misses),
         workers=workers_used,
         shards=len(shards),
         mode="parallel" if parallel else "serial",
         fingerprint=cache.fingerprint if cache is not None else "",
+        cache_stores=stores,
     )

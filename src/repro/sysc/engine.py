@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from .. import obs
 from ..apps.mapping import (
     MappingPlan,
     map_multicore,
@@ -277,6 +278,13 @@ def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
         if event.abnormal and 0 <= event.sample < ticks:
             beats_by_tick[event.sample] = \
                 beats_by_tick.get(event.sample, 0) + 1
+
+    obs.add("engine.simulations")
+    obs.add(f"engine.mode.{mode.value}")
+    obs.add("engine.ticks", ticks)
+    abnormal_beats = sum(beats_by_tick.values())
+    if abnormal_beats:
+        obs.add("engine.beats.abnormal", abnormal_beats)
 
     groups: dict[str, list[_CoreState]] = {}
     for state in cores:

@@ -55,7 +55,7 @@ def _sweep_fixture() -> SweepResult:
     return SweepResult(
         spec=spec, results=results, elapsed_s=0.5, cache_hits=1,
         cache_misses=1, workers=1, shards=1, mode="serial",
-        fingerprint="deadbeef")
+        fingerprint="deadbeef", cache_stores=1)
 
 
 def test_render_sweep_golden():
@@ -66,7 +66,7 @@ def test_render_sweep_golden():
           ----------------------------------------------------------------------------------
           3L-MF  single-core     82.51        2.3      0.6                 0   0.250     run
           3L-MF   multi-core     60.25          1      0.5            0.0163   0.250     hit
-          cache: 1 hit(s), 1 miss(es) [deadbeef]
+          cache: 1 hit(s), 1 miss(es), 1 store(s) [deadbeef]
           throughput: 4.0 simulated-s/s (2 sim-s in 0.50 s)""")
     assert render_sweep(_sweep_fixture()) == expected
 

@@ -1,0 +1,142 @@
+"""Cross-process and cross-configuration counter determinism.
+
+The contract under test: the ``counters`` (and ``gauges``) of a
+collected run are byte-identical across ``PYTHONHASHSEED`` values,
+worker counts, and streaming kill-and-resume points.  ``timings`` are
+wall-clock and carry no such guarantee.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro import obs
+from repro.eval.__main__ import main
+from repro.eval.genexp import GEN_POLICIES
+from repro.net.streaming import run_streaming
+
+#: Small two-tier fixture (16 nodes), same as tests/net/test_streaming.
+TOKEN = "tiers:ftsp@5x3/rbs@1x4:dense-ward"
+
+#: Run the streaming fixture under a collector and print the
+#: deterministic sections canonically.
+_STREAM_SCRIPT = f"""
+import json
+from repro import obs
+from repro.net.streaming import run_streaming
+with obs.collecting() as registry:
+    run_streaming({TOKEN!r}, duration_s=2.0, seed=7, workers=%d)
+print(json.dumps(registry.deterministic(), sort_keys=True,
+                 separators=(",", ":")))
+"""
+
+_SRC_ROOT = str(Path(repro.__file__).resolve().parent.parent)
+
+
+def _stream_counters(hashseed: str, workers: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = _SRC_ROOT + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", _STREAM_SCRIPT % workers],
+        env=env, capture_output=True, text=True, check=True)
+    return result.stdout
+
+
+def test_streaming_counters_across_hashseeds_and_workers():
+    dumps = [
+        _stream_counters("0", 1),
+        _stream_counters("1", 2),
+        _stream_counters("4242", 2),
+    ]
+    assert dumps[0] == dumps[1] == dumps[2]
+    # And the subprocess output matches this very process too.
+    with obs.collecting() as registry:
+        run_streaming(TOKEN, duration_s=2.0, seed=7)
+    local = json.dumps(registry.deterministic(), sort_keys=True,
+                       separators=(",", ":")) + "\n"
+    assert dumps[0] == local
+
+
+def test_streaming_resume_counters_match_cold(tmp_path):
+    with obs.collecting() as cold:
+        run_streaming(TOKEN, duration_s=2.0, seed=7, wave_size=1)
+    with obs.collecting() as first:
+        interrupted = run_streaming(
+            TOKEN, duration_s=2.0, seed=7, wave_size=1,
+            checkpoint_dir=tmp_path, max_waves=2)
+    assert not interrupted.completed
+    # The resumed run merges the checkpointed counter delta, so its
+    # totals equal the cold run's — not just the tail it executed.
+    with obs.collecting() as resumed:
+        done = run_streaming(TOKEN, duration_s=2.0, seed=7,
+                             wave_size=1, checkpoint_dir=tmp_path)
+    assert done.completed and done.resumed_subtrees == 2
+    assert resumed.deterministic() == cold.deterministic()
+    # The interrupted run itself only saw the first two subtrees.
+    assert first.counters["net.stream.subtrees"] == 2
+    assert cold.counters["net.stream.subtrees"] == 3
+
+
+def test_old_checkpoints_without_obs_still_load(tmp_path):
+    interrupted = run_streaming(
+        TOKEN, duration_s=2.0, seed=7, wave_size=1,
+        checkpoint_dir=tmp_path, max_waves=1)
+    path = tmp_path / interrupted.checkpoint.split("/")[-1]
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    assert "obs" not in doc  # no collector active: no delta persisted
+    with obs.collecting() as registry:
+        resumed = run_streaming(TOKEN, duration_s=2.0, seed=7,
+                                wave_size=1, checkpoint_dir=tmp_path)
+    assert resumed.completed and resumed.resumed_subtrees == 1
+    # Pre-obs checkpoints under-count the skipped prefix but resume.
+    assert registry.counters["net.stream.subtrees"] == 2
+
+
+def test_checkpoint_persists_counter_delta(tmp_path):
+    with obs.collecting():
+        interrupted = run_streaming(
+            TOKEN, duration_s=2.0, seed=7, wave_size=1,
+            checkpoint_dir=tmp_path, max_waves=2)
+    path = tmp_path / interrupted.checkpoint.split("/")[-1]
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    delta = doc["obs"]
+    assert delta["counters"]["net.stream.waves"] == 2
+    assert delta["counters"]["net.stream.subtrees"] == 2
+    # Only wave-loop growth is persisted; the preamble counters the
+    # resumed run regenerates itself stay out of the delta.
+    assert delta["counters"]["net.stream.nodes"] == 10
+
+
+def test_cli_metrics_artifacts_are_deterministic(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    argv = ["gen", "--seed", "7", "--count", "2", "--duration", "1",
+            "--metrics"]
+    assert main(argv + [str(a)]) == 0
+    assert main(argv + [str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "Metrics:" in out
+    first = json.loads(a.read_text(encoding="utf-8"))
+    second = json.loads(b.read_text(encoding="utf-8"))
+    assert first["schema"] == "repro-metrics/1"
+    assert first["experiment"] == "gen"
+    assert first["counters"] == second["counters"]
+    # Every (app, policy) pair of the exploration is one point.
+    assert first["counters"]["gen.points"] == 2 * len(GEN_POLICIES)
+
+
+def test_cli_metrics_flag_without_path_only_prints(tmp_path, capsys):
+    assert main(["sweep", "--list", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "Metrics: 0 counter(s)" in out
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_cli_without_metrics_never_activates(capsys):
+    assert main(["sweep", "--list"]) == 0
+    assert obs.active() is None
+    assert "Metrics:" not in capsys.readouterr().out

@@ -41,7 +41,7 @@ def test_bench_payload_schema_fields():
     assert payload["name"] == "tiny"
     assert payload["points"] == 2
     assert payload["cache"] == {
-        "hits": 0, "misses": 2, "fingerprint": "",
+        "hits": 0, "misses": 2, "stores": 0, "fingerprint": "",
     }
     assert payload["simulated_s"] == 2.0
     assert payload["sim_s_per_s"] > 0

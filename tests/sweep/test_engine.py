@@ -26,6 +26,7 @@ def test_run_sweep_executes_every_point(tmp_path):
     result = run_sweep(SMALL, cache=cache)
     assert result.n_points == 4
     assert result.cache_misses == 4 and result.cache_hits == 0
+    assert result.cache_stores == 4  # every miss refilled the cache
     assert result.mode == "serial"
     for point in result.results:
         assert point.metrics["power_uw"] > 0
@@ -40,6 +41,7 @@ def test_second_run_hits_cache_and_matches(tmp_path):
     cold = run_sweep(SMALL, cache=cache)
     warm = run_sweep(SMALL, cache=cache)
     assert warm.cache_hits == 4 and warm.cache_misses == 0
+    assert warm.cache_stores == 0  # nothing executed, nothing stored
     assert all(point.cached for point in warm.results)
     for before, after in zip(cold.results, warm.results):
         assert before.point == after.point

@@ -1,0 +1,109 @@
+"""Compare or strip ``repro-metrics/1`` artifacts (the CI gate).
+
+Two modes:
+
+``diff``
+    Compare the deterministic sections (counters and gauges) of two
+    metrics artifacts and print every divergence.  The ``timings``
+    section is wall-clock and always ignored.  With ``--fail-on-diff``
+    the exit status is 1 when the artifacts disagree — the shape CI
+    uses to pin counter determinism across hash seeds, worker counts
+    and kill/resume points.
+
+``strip``
+    Rewrite one artifact with the ``timings`` section removed, so two
+    runs of the same experiment can be compared byte-for-byte with
+    plain ``cmp``.
+
+Run with::
+
+    python tools/metrics_report.py diff a.json b.json --fail-on-diff
+    python tools/metrics_report.py strip run.json stripped.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path: str) -> dict:
+    """Load one artifact, rejecting anything but ``repro-metrics/1``."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != "repro-metrics/1":
+        raise SystemExit(
+            f"{path}: expected schema repro-metrics/1, got {schema!r}")
+    return payload
+
+
+def diff_section(section: str, a: dict, b: dict) -> list[str]:
+    """Human-readable divergences of one name -> value mapping."""
+    problems = []
+    for name in sorted(set(a) | set(b)):
+        left = a.get(name)
+        right = b.get(name)
+        if left == right:
+            continue
+        left_text = "absent" if name not in a else f"{left}"
+        right_text = "absent" if name not in b else f"{right}"
+        problems.append(
+            f"{section}.{name}: {left_text} != {right_text}")
+    return problems
+
+
+def diff_metrics(a: dict, b: dict) -> list[str]:
+    """All deterministic-section divergences between two payloads."""
+    problems = []
+    if a.get("experiment") != b.get("experiment"):
+        problems.append(
+            f"experiment: {a.get('experiment')!r} != "
+            f"{b.get('experiment')!r}")
+    for section in ("counters", "gauges"):
+        problems.extend(
+            diff_section(section, a.get(section, {}), b.get(section, {})))
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff or strip repro-metrics/1 artifacts")
+    commands = parser.add_subparsers(dest="command", required=True)
+    diff = commands.add_parser(
+        "diff", help="compare the deterministic sections of two "
+                     "artifacts (timings are always ignored)")
+    diff.add_argument("first", help="baseline metrics artifact")
+    diff.add_argument("second", help="candidate metrics artifact")
+    diff.add_argument(
+        "--fail-on-diff", action="store_true",
+        help="exit 1 when the artifacts disagree")
+    strip = commands.add_parser(
+        "strip", help="rewrite an artifact without its timings "
+                      "section (byte-comparable with cmp)")
+    strip.add_argument("source", help="metrics artifact to strip")
+    strip.add_argument("target", help="where to write the stripped copy")
+    args = parser.parse_args(argv)
+
+    if args.command == "strip":
+        payload = load_metrics(args.source)
+        payload.pop("timings", None)
+        with open(args.target, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"stripped {args.source} -> {args.target}")
+        return 0
+
+    first = load_metrics(args.first)
+    second = load_metrics(args.second)
+    problems = diff_metrics(first, second)
+    if problems:
+        print(f"metrics diverge ({len(problems)} difference(s)):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1 if args.fail_on_diff else 0
+    print("metrics match (counters and gauges identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
