@@ -1,0 +1,73 @@
+"""EXP-COVER benchmark: coverage-driven fuzz-loop throughput.
+
+Times the fuzz hot path end to end — shape steering, shaped-app
+generation, policy screening and bin classification — as whole
+applications evaluated per wall-second.  The plain-script mode
+replays the ``cover`` campaign (adversarial shaped tokens x mapping
+policy) through the sweep subsystem and emits ``BENCH_cover.json``
+in the ``repro-bench/1`` schema the CI regression gate tracks.
+
+Run with::
+
+    pytest benchmarks/bench_cover.py --benchmark-only
+    python benchmarks/bench_cover.py      # emit BENCH_cover.json
+"""
+
+from repro.cover import fuzz_campaign
+from repro.cover.model import CoverageMap
+from repro.gen.explorer import evaluate_token
+from repro.gen.generator import app_from_token
+
+#: Attempt budget of the throughput benchmark: large enough to
+#: exercise target re-selection, small enough to finish in seconds.
+BENCH_BUDGET = 16
+
+#: Simulated seconds per screened app (matches the campaign default
+#: scaled down; the reproduced metrics are duration-invariant).
+BENCH_DURATION_S = 0.5
+
+#: Conservative apps-per-second floor for the fuzz loop.  Well below
+#: a developer machine (~40+ apps/s) so only a genuine hot-path
+#: regression — quadratic target scans, per-attempt pool spin-up —
+#: trips it on a slow CI runner.
+MIN_APPS_PER_S = 5.0
+
+
+def test_fuzz_campaign_throughput(benchmark):
+    """Time a small fuzz campaign; hold apps/s to a floor."""
+    report = benchmark(
+        fuzz_campaign,
+        budget=BENCH_BUDGET,
+        saturation=BENCH_BUDGET,
+        duration_s=BENCH_DURATION_S,
+    )
+    assert len(report.attempts) == BENCH_BUDGET
+    assert report.coverage.covered()
+    apps_per_s = BENCH_BUDGET / benchmark.stats.stats.mean
+    assert apps_per_s >= MIN_APPS_PER_S, apps_per_s
+
+
+def test_classify_throughput(benchmark):
+    """Time bin classification alone (no simulation in the loop)."""
+    token = "random-dag:7:0:depth=10+fanin=6+diamond=1+trig=1"
+    app = app_from_token(token)
+    record = evaluate_token(token, "paper", duration_s=BENCH_DURATION_S)
+
+    def classify_once():
+        cover = CoverageMap()
+        key, _ = cover.record(app, record, token=token)
+        return key
+
+    key = benchmark(classify_once)
+    assert key.startswith("random-dag/")
+
+
+def main(argv=None) -> int:
+    """Plain-script mode: replay the campaign, emit BENCH_cover.json."""
+    from repro.sweep import bench_main
+
+    return bench_main("cover", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,10 @@ tolerance (default 30 %).  The baseline may also carry ``nodes_per_s``
 floors (tolerance-scaled, for the streaming mega-fleet), ``speedup``
 floors and ``max_rss_mb`` ceilings (both hard bounds — the latter is
 the bounded-memory assertion of the streaming executor).  Benches
-emitted outside ``run_all.py`` join the gate via ``--merge``.
+emitted outside ``run_all.py`` join the gate via ``--merge``; a
+``repro-cover/1`` artifact supplied via ``--cover`` is held to the
+baseline's ``covered_bins`` floor (hard, no tolerance — the fuzz
+campaign is byte-deterministic).
 
 The baseline records *conservative* throughput floors (well below a
 typical developer machine) so the gate only trips on genuine
@@ -56,7 +59,10 @@ RSS_CEILING_MB = 256.0
 
 
 def check(
-    merged: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+    merged: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    cover: dict | None = None,
 ) -> list[str]:
     """Return a list of failure messages (empty = gate passes).
 
@@ -125,17 +131,38 @@ def check(
                 f"{name}: peak RSS {measured:.0f} MB > ceiling "
                 f"{ceiling:.0f} MB (memory no longer bounded)"
             )
+    # Covered-bin floors are hard bounds with no tolerance: the fuzz
+    # campaign is byte-deterministic, so covering fewer bins than the
+    # baseline records means the steering (or the generator's shape
+    # knobs) genuinely lost reach, not that a runner was slow.
+    for name, floor in sorted(baseline.get("covered_bins", {}).items()):
+        if cover is None:
+            failures.append(
+                f"{name}: no repro-cover/1 artifact supplied "
+                f"(pass --cover)"
+            )
+            continue
+        measured = cover.get("covered", 0)
+        if measured < floor:
+            failures.append(
+                f"{name}: {measured} covered bin(s) < baseline "
+                f"{floor} (fuzz campaign lost coverage)"
+            )
     return failures
 
 
-def update_baseline(merged: dict) -> dict:
+def update_baseline(merged: dict, cover: dict | None = None) -> dict:
     """A fresh baseline document derived from a measured run.
 
     Throughput floors are measured-with-margin; speedup floors are
     the fixed 100x requirement of the oracle bench, not
-    machine-derived.
+    machine-derived.  Covered-bin floors are recorded exactly — the
+    campaign is deterministic, so no margin applies.
     """
     benches = merged.get("benches", {})
+    covered_bins = (
+        {"cover": int(cover["covered"])} if cover is not None else {}
+    )
     return {
         "schema": "repro-bench-baseline/1",
         "note": (
@@ -161,6 +188,7 @@ def update_baseline(merged: dict) -> dict:
             for name, payload in sorted(benches.items())
             if "peak_rss_mb" in payload
         },
+        "covered_bins": covered_bins,
     }
 
 
@@ -205,6 +233,14 @@ def main(argv=None) -> int:
         "document before checking (for benches emitted outside "
         "run_all.py, e.g. the fleet-mega streaming bench); repeatable",
     )
+    parser.add_argument(
+        "--cover",
+        default=None,
+        metavar="PATH",
+        help="repro-cover/1 artifact to hold against the baseline's "
+        "covered_bins floor (a hard bound: the fuzz campaign is "
+        "deterministic)",
+    )
     args = parser.parse_args(argv)
     if args.baseline_pos is not None and args.baseline_opt is not None:
         parser.error(
@@ -218,6 +254,10 @@ def main(argv=None) -> int:
         baseline_path = DEFAULT_BASELINE
     with open(args.bench, encoding="utf-8") as handle:
         merged = json.load(handle)
+    cover = None
+    if args.cover is not None:
+        with open(args.cover, encoding="utf-8") as handle:
+            cover = json.load(handle)
     if args.merge:
         benches = dict(merged.get("benches", {}))
         for path in args.merge:
@@ -227,7 +267,7 @@ def main(argv=None) -> int:
         merged = dict(merged)
         merged["benches"] = benches
     if args.update:
-        baseline = update_baseline(merged)
+        baseline = update_baseline(merged, cover=cover)
         with open(baseline_path, "w", encoding="utf-8") as handle:
             json.dump(baseline, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -235,7 +275,9 @@ def main(argv=None) -> int:
         return 0
     with open(baseline_path, encoding="utf-8") as handle:
         baseline = json.load(handle)
-    failures = check(merged, baseline, tolerance=args.tolerance)
+    failures = check(
+        merged, baseline, tolerance=args.tolerance, cover=cover
+    )
     if failures:
         print("benchmark regression gate FAILED:")
         for failure in failures:
@@ -248,6 +290,7 @@ def main(argv=None) -> int:
             "nodes_per_s",
             "speedup",
             "max_rss_mb",
+            "covered_bins",
         )
     )
     print(

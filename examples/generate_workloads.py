@@ -31,7 +31,7 @@ def main() -> None:
 
     print(f"== generated suite (seed {SEED}) ==")
     for token in tokens:
-        family, seed, index = parse_app_token(token)
+        family, seed, index, _ = parse_app_token(token)
         app = generate_app(family, seed, index)
         replicas = sum(phase.replicas for phase in app.phases)
         print(f"  {app.name:<18} {len(app.phases)} phase(s), "

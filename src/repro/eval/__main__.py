@@ -14,17 +14,23 @@ Usage::
     python -m repro.eval sweep [--spec NAME | --spec-file F] [--workers W]
     python -m repro.eval gen [--seed S] [--count N] [--policies P ...]
     python -m repro.eval search [--seed S] [--count N] [--algorithm A]
+    python -m repro.eval cover [--seed S] [--budget N] [--random]
     python -m repro.eval all
 
 Every experiment is its own subcommand with its own flags; ``sweep``
 runs a declarative campaign through :mod:`repro.sweep` (cached,
 sharded) and can emit JSON/CSV artifacts.
+
+Usage errors — malformed tokens, unknown presets, conflicting flags,
+unreadable spec files — exit 2 with a one-line message on stderr
+(the argparse convention), never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 
 from .. import obs
 from ..gen.policies import POLICIES
@@ -45,6 +51,16 @@ from ..sweep import (
     write_csv,
 )
 from .ablations import run_all_ablations
+from .coverexp import (
+    COVER_BUDGET,
+    COVER_CORES,
+    COVER_DURATION_S,
+    COVER_POLICIES,
+    COVER_SATURATION,
+    COVER_SEED,
+    run_cover,
+    write_cover_json,
+)
 from .fig6 import run_fig6
 from .fig7 import run_fig7
 from .genexp import (
@@ -66,6 +82,7 @@ from .netexp import (
 )
 from .report import (
     render_ablations,
+    render_cover,
     render_fig6,
     render_fig7,
     render_gen,
@@ -275,6 +292,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the deterministic exploration artifact here")
     _add_metrics(gen)
 
+    cover = commands.add_parser(
+        "cover", help="run the coverage-driven workload fuzz loop")
+    cover.add_argument(
+        "--seed", type=int, default=COVER_SEED,
+        help=f"campaign seed (default: {COVER_SEED})")
+    cover.add_argument(
+        "--budget", type=_positive_int, default=COVER_BUDGET,
+        help=f"maximum fuzz attempts (default: {COVER_BUDGET})")
+    cover.add_argument(
+        "--saturation", type=_positive_int, default=COVER_SATURATION,
+        help="stop after this many attempts with no new bin "
+             f"(default: {COVER_SATURATION})")
+    cover.add_argument(
+        "--policies", nargs="+", choices=sorted(POLICIES),
+        default=list(COVER_POLICIES), metavar="POLICY",
+        help="mapping policies screened per app "
+             f"(default: {' '.join(COVER_POLICIES)})")
+    cover.add_argument(
+        "--cores", type=_positive_int, default=COVER_CORES,
+        help=f"provisioned platform width (default: {COVER_CORES})")
+    _add_duration(cover, f"{COVER_DURATION_S:g} s per exact point")
+    cover.add_argument(
+        "--random", action="store_true",
+        help="blind baseline: same budget, no coverage targeting")
+    cover.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the deterministic repro-cover/1 artifact here")
+    _add_metrics(cover)
+
     search = commands.add_parser(
         "search", help="search generated apps for better placements")
     search.add_argument(
@@ -369,6 +415,21 @@ def _dispatch(
         if args.json is not None:
             write_gen_json(report, args.json)
         print(render_gen(report))
+        return 0
+
+    if experiment == "cover":
+        report = run_cover(
+            seed=args.seed,
+            budget=args.budget,
+            saturation=args.saturation,
+            policies=tuple(args.policies),
+            num_cores=args.cores,
+            duration_s=args.duration if args.duration is not None
+            else COVER_DURATION_S,
+            targeted=not args.random)
+        if args.json is not None:
+            write_cover_json(report, args.json)
+        print(render_cover(report))
         return 0
 
     if experiment == "search":
@@ -468,10 +529,19 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     metrics = getattr(args, "metrics", None)
-    if metrics is None:
-        return _dispatch(parser, args)
-    with obs.collecting() as registry:
-        status = _dispatch(parser, args)
+    try:
+        if metrics is None:
+            return _dispatch(parser, args)
+        with obs.collecting() as registry:
+            status = _dispatch(parser, args)
+    except (ValueError, OSError) as exc:
+        # Usage errors — malformed tokens, unknown presets/policies,
+        # unreadable artifact paths — are the operator's problem, not
+        # a crash: one line on stderr and the argparse exit code.
+        message = str(exc).splitlines()[0] if str(exc) else \
+            type(exc).__name__
+        print(f"{parser.prog}: error: {message}", file=sys.stderr)
+        return 2
     print()
     print(obs.render_metrics(registry))
     if metrics:

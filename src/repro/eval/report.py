@@ -15,6 +15,8 @@ from ..net.streaming import HierarchyResult
 from ..power.energy import CATEGORIES
 from .ablations import AblationResult
 from .aggregates import summary_stats
+from ..cover.fuzz import FuzzReport
+from ..cover.model import ADVERSARIAL_POINTS, DIMENSIONS
 from .fig6 import Fig6Group
 from .fig7 import Fig7Point
 from .genexp import GenReport
@@ -29,6 +31,7 @@ __all__ = [
     "FleetSummary",
     "SyncError",
     "render_ablations",
+    "render_cover",
     "render_fig6",
     "render_fig7",
     "render_gen",
@@ -451,6 +454,57 @@ def render_gen(report: GenReport, max_rows: int = 48) -> str:
             f"{max(powered):.1f} uW")
     if report.records:
         lines.extend(_policy_power_summary(report))
+    return "\n".join(lines)
+
+
+def render_cover(report: FuzzReport) -> str:
+    """Render a coverage campaign: marginals, coverpoints, outcomes.
+
+    The layout is fixed (golden tests pin it): the headline, the
+    cross-bin count, one marginal row per dimension with its missing
+    labels, one line per adversarial coverpoint, and the outcome
+    tallies.
+    """
+    coverage = report.coverage
+    covered = coverage.covered()
+    lines = [
+        f"Coverage {report.mode}: seed {report.seed}, "
+        f"{len(report.attempts)}/{report.budget} attempt(s), "
+        f"{len(report.policies)} policy(ies), "
+        f"{report.num_cores} cores, {report.duration_s:g} s"
+    ]
+    bins_line = f"  bins: {len(covered)}/{len(coverage.space)} covered"
+    if report.saturated:
+        bins_line += " (saturated)"
+    unexpected = coverage.unexpected()
+    if unexpected:
+        bins_line += f", {len(unexpected)} outside the model"
+    lines.append(bins_line)
+    lines.append(f"  {'dimension':<10} {'hit':>5}  missing")
+    lines.append("  " + "-" * 38)
+    hit_labels: list[set[str]] = [set() for _ in DIMENSIONS]
+    for key in covered:
+        for axis, label in enumerate(key.split("/")):
+            hit_labels[axis].add(label)
+    for dimension, hit in zip(DIMENSIONS, hit_labels):
+        missing = " ".join(label for label in dimension.labels
+                           if label not in hit)
+        row = f"  {dimension.name:<10} " \
+              f"{f'{len(hit)}/{len(dimension.labels)}':>5}"
+        lines.append(f"{row}  {missing}".rstrip())
+    adversarial = coverage.adversarial_hits()
+    for name in ADVERSARIAL_POINTS:
+        hits = adversarial[name]
+        if hits:
+            lines.append(
+                f"  adversarial {name}: {hits} hit(s), first "
+                f"{coverage.adversarial_first(name)}")
+        else:
+            lines.append(f"  adversarial {name}: not hit")
+    outcomes = ", ".join(
+        f"{report.status_counts.get(status, 0)} {status}"
+        for status in ("ok", "repaired", "rejected", "screened"))
+    lines.append(f"  outcomes: {outcomes}")
     return "\n".join(lines)
 
 

@@ -44,7 +44,13 @@ from .policies import (
     map_balanced,
     map_critical_path,
 )
-from .topology import FAMILIES, FAMILY_ORDER, StageSpec, Topology
+from .topology import (
+    FAMILIES,
+    FAMILY_ORDER,
+    Shape,
+    StageSpec,
+    Topology,
+)
 
 __all__ = [
     "EXPLORE_DURATION_S",
@@ -54,6 +60,7 @@ __all__ = [
     "GEN_SCHEMA",
     "MappingPolicy",
     "POLICIES",
+    "Shape",
     "StageSpec",
     "Topology",
     "app_fingerprint",

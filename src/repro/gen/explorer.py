@@ -298,7 +298,7 @@ def screen_tokens(tokens: list[str],
         get_policy(name)  # fail fast before any scoring
     records: list[ExplorationRecord] = []
     for token in tokens:
-        family, _, _ = parse_app_token(token)
+        family, _, _, _ = parse_app_token(token)
         app = app_from_token(token)
         records.extend(screen_policies(
             app, policies, num_cores=num_cores, duration_s=duration_s,
@@ -349,7 +349,7 @@ def evaluate_token(token: str, policy_name: str, num_cores: int = 8,
     Raises:
         ValueError: malformed token or unknown policy.
     """
-    family, _, _ = parse_app_token(token)
+    family, _, _, _ = parse_app_token(token)
     app = app_from_token(token)
     return evaluate_app(app, policy_name, num_cores=num_cores,
                         duration_s=duration_s, token=token, family=family)

@@ -34,10 +34,14 @@ from ..apps.phases import (
 from . import distributions as dist
 from .topology import (
     FAMILY_ORDER,
+    Shape,
     StageSpec,
     Topology,
     build_topology,
+    parse_shape,
     require_family,
+    require_shape,
+    shape_fragment,
 )
 
 #: Schema tag mixed into every per-app seed derivation (bump to
@@ -71,22 +75,38 @@ def derive_seed(*parts: object) -> int:
     return int.from_bytes(digest.digest()[:8], "big")
 
 
-def app_token(family: str, seed: int, index: int) -> str:
-    """Compact string identity of one generated app."""
-    return f"{family}:{seed}:{index}"
+def app_token(family: str, seed: int, index: int,
+              shape: Shape | None = None) -> str:
+    """Compact string identity of one generated app.
+
+    Default-shaped identities keep the historical three-segment form;
+    adversarial shapes append a canonical fourth segment
+    (``"random-dag:7:0:depth=10+trig=1"``).
+    """
+    base = f"{family}:{seed}:{index}"
+    fragment = shape_fragment(shape) if shape is not None else ""
+    return f"{base}:{fragment}" if fragment else base
 
 
-def parse_app_token(token: str) -> tuple[str, int, int]:
+def parse_app_token(token: str) -> tuple[str, int, int, Shape]:
     """Invert :func:`app_token`.
 
+    Returns:
+        ``(family, seed, index, shape)`` — ``shape`` is the default
+        (falsy) :class:`~repro.gen.topology.Shape` for plain
+        three-segment tokens.
+
     Raises:
-        ValueError: malformed token or unknown family.
+        ValueError: malformed token, unknown family, or shape knobs
+            on a family other than ``random-dag`` — naming the
+            offending segment.
     """
     parts = token.split(":")
-    if len(parts) != 3:
+    if len(parts) not in (3, 4):
         raise ValueError(
-            f"malformed app token {token!r}; expected 'family:seed:index'")
-    family, seed_text, index_text = parts
+            f"malformed app token {token!r}; expected "
+            f"'family:seed:index[:knob=value+...]'")
+    family, seed_text, index_text = parts[:3]
     require_family(family)
     try:
         seed, index = int(seed_text), int(index_text)
@@ -94,17 +114,31 @@ def parse_app_token(token: str) -> tuple[str, int, int]:
         raise ValueError(
             f"malformed app token {token!r}; seed and index must be "
             f"integers") from None
-    return family, seed, index
+    shape = parse_shape(parts[3], token) if len(parts) == 4 else Shape()
+    require_shape(family, shape)
+    return family, seed, index, shape
 
 
 def _stage_phase(stage: StageSpec, rng: random.Random,
-                 section_budget: int, head: bool = False) -> PhaseSpec:
-    """Sample one stage's workload knobs into a PhaseSpec."""
+                 section_budget: int, head: bool = False,
+                 shared_from: PhaseSpec | None = None) -> PhaseSpec:
+    """Sample one stage's workload knobs into a PhaseSpec.
+
+    ``shared_from`` (diamond DAGs) bypasses the section draw
+    entirely: the stage re-executes an earlier phase's code, so it
+    lists the *same* section names, sizes and inserted sync words —
+    the IM mapper deduplicates them, which is exactly the sharing
+    pressure the shape exists to exercise.
+    """
     cycles = dist.sample_phase_cycles(rng)
-    sections = dist.sample_sections(rng, stage.name, section_budget,
-                                    head=head)
+    if shared_from is not None:
+        sections = tuple(shared_from.sections)
+    else:
+        sections = dist.sample_sections(rng, stage.name, section_budget,
+                                        head=head)
     sync_rate = dist.sample_sync_rate(rng)
-    sync_code = dist.sample_sync_code_words(rng)
+    sync_code = (shared_from.sync_code_words if shared_from is not None
+                 else dist.sample_sync_code_words(rng))
     alignment = dist.sample_alignment(rng) if stage.replicas > 1 else 0.0
     shared = dist.sample_shared_reads(rng) if stage.replicas > 1 else 0.0
     return PhaseSpec(
@@ -174,28 +208,40 @@ def _channels(topology: Topology,
     return channels
 
 
-def generate_app(family: str, seed: int, index: int = 0) -> AppSpec:
-    """Generate one valid application from its identity triple.
+def generate_app(family: str, seed: int, index: int = 0,
+                 shape: Shape | None = None) -> AppSpec:
+    """Generate one valid application from its identity.
 
     Args:
         family: topology family (see
             :data:`repro.gen.topology.FAMILY_ORDER`).
         seed: suite seed.
         index: app index within the suite.
+        shape: adversarial structure knobs (``random-dag`` only); a
+            default shape reproduces the historical triple identity
+            byte-for-byte.
 
     Raises:
-        ValueError: unknown family.
+        ValueError: unknown family, or shape knobs on a family other
+            than ``random-dag``.
     """
-    rng = random.Random(derive_seed(GEN_SCHEMA, family, seed, index))
-    topology = build_topology(family, rng)
+    shape = require_shape(family, shape)
+    identity: tuple[object, ...] = (GEN_SCHEMA, family, seed, index)
+    if shape:
+        identity += (shape_fragment(shape),)
+    rng = random.Random(derive_seed(*identity))
+    topology = build_topology(family, rng, shape=shape)
     phases: list[PhaseSpec] = []
     sections_used = 0
     for position, stage in enumerate(topology.stages):
         budget = MAX_SECTIONS - sections_used - (
             len(topology.stages) - len(phases) - 1)
+        shared = (phases[stage.shares] if stage.shares is not None
+                  else None)
         phase = _stage_phase(stage, rng, max(1, budget),
-                             head=position == 0)
-        sections_used += len(phase.sections)
+                             head=position == 0, shared_from=shared)
+        if shared is None:
+            sections_used += len(phase.sections)
         phases.append(phase)
     phases = _rescale_cycles(phases, rng)
     app = AppSpec(
@@ -206,7 +252,9 @@ def generate_app(family: str, seed: int, index: int = 0) -> AppSpec:
         runtime_words=GEN_RUNTIME_WORDS,
         beat_span_samples=GEN_BEAT_SPAN,
         description=f"generated {family} workload "
-                    f"(seed {seed}, index {index})",
+                    f"(seed {seed}, index {index}"
+                    + (f", shape {shape_fragment(shape)})" if shape
+                       else ")"),
     )
     app.validate()
     return app
@@ -225,8 +273,8 @@ def app_from_token(token: str) -> AppSpec:
     Raises:
         ValueError: malformed token or unknown family.
     """
-    family, seed, index = parse_app_token(token)
-    return generate_app(family, seed, index)
+    family, seed, index, shape = parse_app_token(token)
+    return generate_app(family, seed, index, shape=shape)
 
 
 def suite_tokens(seed: int, count: int,

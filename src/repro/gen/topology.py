@@ -28,12 +28,27 @@ A suffix of a topology may be *triggered* (``on_abnormal``): those
 stages activate per pathological beat, like RP-CLASS's delineation
 chain.  Stage 0 is always streaming so every generated application
 has a real-time clock requirement.
+
+The ``random-dag`` family additionally accepts a :class:`Shape` of
+*adversarial knobs* — deep chains, wide fan-in, diamond DAGs sharing
+code sections across phases, triggered subgraphs — so a coverage
+fuzzer (:mod:`repro.cover`) can steer generation toward structural
+corners blind sampling essentially never reaches.  A default
+(falsy) shape takes the exact historical draw path, so every
+pre-existing ``family:seed:index`` identity stays byte-identical.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+#: Shape-knob bounds: generous enough to dwarf the 8-core / 10-bank
+#: platform (the whole point of the adversarial shapes) while keeping
+#: generated apps small enough to simulate in a fuzz loop.
+MAX_SHAPE_DEPTH = 16
+MAX_SHAPE_FAN_IN = 12
+MAX_SHAPE_REPLICAS = 12
 
 
 @dataclass(frozen=True)
@@ -47,12 +62,142 @@ class StageSpec:
             (empty for source stages).
         on_abnormal: activated per pathological beat instead of
             streaming.
+        shares: index of an earlier stage whose code sections this
+            stage reuses verbatim (diamond DAGs re-running one
+            kernel in two phases); ``None`` for private sections.
     """
 
     name: str
     replicas: int
     inputs: tuple[int, ...] = ()
     on_abnormal: bool = False
+    shares: int | None = None
+
+
+@dataclass(frozen=True)
+class Shape:
+    """Adversarial structure knobs for the ``random-dag`` family.
+
+    Every knob defaults to "off"; a default-constructed shape is
+    falsy and selects the historical layered-DAG draw path.  Knobs
+    compose freely — ``depth`` sets the chain backbone, ``fan_in``
+    appends a multi-producer fuse, ``diamond`` appends a
+    section-sharing branch/join, ``triggered`` marks a suffix
+    subgraph pathological-beat-driven, ``replicas`` pins the source
+    stage's lock-step width.
+
+    Raises:
+        ValueError: a knob outside its bound (the message names the
+            knob).
+    """
+
+    depth: int | None = None
+    fan_in: int | None = None
+    diamond: bool = False
+    triggered: bool = False
+    replicas: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.depth is not None and not 2 <= self.depth <= MAX_SHAPE_DEPTH:
+            raise ValueError(
+                f"shape knob depth={self.depth!r} outside "
+                f"[2, {MAX_SHAPE_DEPTH}]")
+        if self.fan_in is not None and (
+                not 2 <= self.fan_in <= MAX_SHAPE_FAN_IN):
+            raise ValueError(
+                f"shape knob fanin={self.fan_in!r} outside "
+                f"[2, {MAX_SHAPE_FAN_IN}]")
+        if self.replicas is not None and (
+                not 1 <= self.replicas <= MAX_SHAPE_REPLICAS):
+            raise ValueError(
+                f"shape knob reps={self.replicas!r} outside "
+                f"[1, {MAX_SHAPE_REPLICAS}]")
+
+    def __bool__(self) -> bool:
+        return (self.depth is not None or self.fan_in is not None
+                or self.diamond or self.triggered
+                or self.replicas is not None)
+
+
+#: Shape-knob token grammar: canonical serialisation order and the
+#: per-knob (parse, serialise) behaviour.  Bools serialise as ``1``
+#: and are simply omitted when off.
+SHAPE_KNOB_ORDER: tuple[str, ...] = (
+    "depth", "fanin", "diamond", "trig", "reps",
+)
+
+#: Token knob name -> Shape field.
+_KNOB_FIELDS = {
+    "depth": "depth",
+    "fanin": "fan_in",
+    "diamond": "diamond",
+    "trig": "triggered",
+    "reps": "replicas",
+}
+
+_BOOL_KNOBS = frozenset({"diamond", "trig"})
+
+
+def shape_fragment(shape: Shape) -> str:
+    """Canonical ``knob=value+knob=value`` form (empty for default).
+
+    The inverse of :func:`parse_shape`; knobs always serialise in
+    :data:`SHAPE_KNOB_ORDER` so equal shapes yield byte-equal
+    fragments.
+    """
+    parts = []
+    for knob in SHAPE_KNOB_ORDER:
+        value = getattr(shape, _KNOB_FIELDS[knob])
+        if value is None or value is False:
+            continue
+        parts.append(f"{knob}=1" if knob in _BOOL_KNOBS
+                     else f"{knob}={value}")
+    return "+".join(parts)
+
+
+def parse_shape(fragment: str, token: str = "") -> Shape:
+    """Invert :func:`shape_fragment`.
+
+    Args:
+        fragment: a non-empty ``knob=value+...`` string.
+        token: enclosing app token, quoted in error messages.
+
+    Raises:
+        ValueError: empty fragment, unknown knob, duplicate knob,
+            non-integer value, or a value outside the knob's bound —
+            always naming the offending knob.
+    """
+    context = f" in app token {token!r}" if token else ""
+    if not fragment:
+        raise ValueError(
+            f"empty shape fragment{context}; expected "
+            f"'knob=value+...'")
+    values: dict[str, object] = {}
+    for part in fragment.split("+"):
+        knob, eq, value_text = part.partition("=")
+        if not eq or knob not in _KNOB_FIELDS:
+            raise ValueError(
+                f"unknown shape knob {part!r}{context}; choose from "
+                f"{list(SHAPE_KNOB_ORDER)}")
+        field = _KNOB_FIELDS[knob]
+        if field in values:
+            raise ValueError(
+                f"duplicate shape knob {knob!r}{context}")
+        try:
+            value = int(value_text)
+        except ValueError:
+            raise ValueError(
+                f"shape knob {knob!r} needs an integer value, got "
+                f"{value_text!r}{context}") from None
+        if knob in _BOOL_KNOBS:
+            if value != 1:
+                raise ValueError(
+                    f"shape knob {knob!r} is a flag; write "
+                    f"'{knob}=1' or omit it{context}")
+            values[field] = True
+        else:
+            values[field] = value
+    return Shape(**values)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -147,6 +292,56 @@ def _random_dag(rng: random.Random) -> Topology:
     return Topology(family="random-dag", stages=tuple(stages))
 
 
+def _shaped_dag(rng: random.Random, shape: Shape) -> Topology:
+    """A ``random-dag`` steered by adversarial :class:`Shape` knobs.
+
+    The backbone is a chain whose length tracks ``shape.depth``
+    (minus the layers any suffix blocks contribute), followed by an
+    optional diamond (branch stages ``b0``/``b1`` — ``b1`` *shares*
+    ``b0``'s sections — fused by ``join``) and an optional wide
+    fan-in block (``shape.fan_in`` distinct producers feeding one
+    ``fuse`` stage through a single multi-producer channel).  With
+    ``shape.triggered`` a 2-3 stage suffix subgraph runs per
+    pathological beat.  All draws stay on the caller's rng stream in
+    declaration order, so shaped identities are as reproducible as
+    plain ones.
+    """
+    replicas = (shape.replicas if shape.replicas is not None
+                else rng.randint(1, 3))
+    suffix_layers = (2 if shape.diamond else 0) + (
+        2 if shape.fan_in is not None else 0)
+    depth = (shape.depth if shape.depth is not None
+             else rng.randint(3, 5))
+    chain = max(1, depth - suffix_layers)
+    stages = [StageSpec(name="n0", replicas=replicas)]
+    for index in range(1, chain):
+        stages.append(StageSpec(
+            name=f"n{index}", replicas=1, inputs=(index - 1,)))
+    if shape.diamond:
+        tail = len(stages) - 1
+        branch = len(stages)
+        stages.append(StageSpec(
+            name="b0", replicas=1, inputs=(tail,)))
+        stages.append(StageSpec(
+            name="b1", replicas=1, inputs=(tail,), shares=branch))
+        stages.append(StageSpec(
+            name="join", replicas=1, inputs=(branch, branch + 1)))
+    if shape.fan_in is not None:
+        tail = len(stages) - 1
+        first = len(stages)
+        for slot in range(shape.fan_in):
+            stages.append(StageSpec(
+                name=f"p{slot}", replicas=1, inputs=(tail,)))
+        stages.append(StageSpec(
+            name="fuse", replicas=1,
+            inputs=tuple(range(first, first + shape.fan_in))))
+    if shape.triggered:
+        span = min(rng.randint(2, 3), len(stages) - 1)
+        for index in range(len(stages) - span, len(stages)):
+            stages[index] = replace(stages[index], on_abnormal=True)
+    return Topology(family="random-dag", stages=tuple(stages))
+
+
 #: Family registry, in the fixed order suites cycle through.
 FAMILY_ORDER: tuple[str, ...] = (
     "pipeline",
@@ -178,10 +373,35 @@ def require_family(family: str) -> str:
     return family
 
 
-def build_topology(family: str, rng: random.Random) -> Topology:
-    """Draw one topology of the requested family.
+def require_shape(family: str, shape: Shape | None) -> Shape:
+    """Validate a (family, shape) pair; a default shape for ``None``.
 
     Raises:
-        ValueError: unknown family name.
+        ValueError: non-default knobs on a family other than
+            ``random-dag``.
     """
-    return FAMILIES[require_family(family)](rng)
+    shape = shape if shape is not None else Shape()
+    if shape and family != "random-dag":
+        raise ValueError(
+            f"shape knobs ({shape_fragment(shape)}) only apply to "
+            f"the 'random-dag' family, not {family!r}")
+    return shape
+
+
+def build_topology(family: str, rng: random.Random,
+                   shape: Shape | None = None) -> Topology:
+    """Draw one topology of the requested family.
+
+    A non-default ``shape`` routes ``random-dag`` through
+    :func:`_shaped_dag`; the default shape keeps the historical draw
+    path byte-for-byte.
+
+    Raises:
+        ValueError: unknown family name, or shape knobs on a family
+            other than ``random-dag``.
+    """
+    require_family(family)
+    shape = require_shape(family, shape)
+    if shape:
+        return _shaped_dag(rng, shape)
+    return FAMILIES[family](rng)

@@ -245,7 +245,7 @@ class GeneratedSuiteSource:
             except MappingError as exc:
                 errors.append(str(exc))
                 continue
-            family, _, _ = parse_app_token(token)
+            family, _, _, _ = parse_app_token(token)
             floor = plan_required_mhz(plan) if plan.multicore else 0.0
             obs.add("net.apps.resolved")
             if offset:

@@ -403,7 +403,7 @@ def search_token(token: str, num_cores: int = 8,
     Raises:
         ValueError: malformed token, unknown family/algorithm/cost.
     """
-    family, _, _ = parse_app_token(token)
+    family, _, _, _ = parse_app_token(token)
     app = app_from_token(token)
     return search_mapping(app, num_cores=num_cores, algorithm=algorithm,
                           cost=cost, iterations=iterations, seed=seed,

@@ -40,6 +40,11 @@ Families:
   through :func:`repro.gen.explorer.evaluate_token`; the app rides in
   the point as its regeneration token (``"family:seed:index"``), so
   points stay JSON scalars and regeneration is deterministic.
+* ``cover`` — the ``gen`` runner plus coverage classification
+  (:mod:`repro.cover.model`): tokens may carry adversarial shape
+  knobs (``"random-dag:7:0:depth=10+fanin=6"``), and every point
+  reports its deterministic coverage-bin key alongside the explorer
+  metrics.
 * ``search`` — one stochastic placement search through
   :func:`repro.search.search_token`; axes reach the app token, the
   algorithm (``anneal``/``greedy``), the cost oracle, the proposal
@@ -68,7 +73,9 @@ from ..eval.ablations import (
     ablate_sleep,
     ablate_vfs,
 )
+from ..cover.model import bin_key, classify
 from ..gen.explorer import EXPLORE_DURATION_S, evaluate_token
+from ..gen.generator import app_from_token
 from ..hw.system import System
 from ..isa import assemble
 from ..net.fleet import run_fleet
@@ -135,6 +142,13 @@ HEADLINE_METRICS: dict[str, tuple[str, ...]] = {
         "clock_mhz",
         "duty_cycle",
         "sync_overhead",
+    ),
+    "cover": (
+        "status",
+        "depth",
+        "fan_in",
+        "sharing",
+        "power_uw",
     ),
     "search": (
         "status",
@@ -402,6 +416,47 @@ def run_gen_point(point: dict[str, Value]) -> dict[str, Value]:
     }
 
 
+def run_cover_point(point: dict[str, Value]) -> dict[str, Value]:
+    """Evaluate one (possibly shaped) token and classify its bin.
+
+    The ``gen`` runner's metrics plus the coverage labels of
+    :mod:`repro.cover.model`: the bin key and each structural axis
+    as its own column, so CSV artifacts can pivot on them.
+    """
+    token = str(_param(point, "gen_app", "random-dag:7:0:depth=10"))
+    policy = str(_param(point, "policy", "paper"))
+    num_cores = int(_param(point, "num_cores", 8))
+    duration_s = float(_param(point, "duration_s", EXPLORE_DURATION_S))
+    try:
+        app = app_from_token(token)
+        record = evaluate_token(
+            token, policy, num_cores=num_cores, duration_s=duration_s
+        )
+    except ValueError as exc:
+        raise RunnerError(str(exc)) from None
+    labels = classify(app, record)
+    return {
+        "simulated_s": record.simulated_s,
+        "app": record.app,
+        "family": record.family,
+        "status": record.status,
+        "bin": bin_key(labels),
+        "depth": labels[1],
+        "fan_in": labels[2],
+        "sharing": labels[3],
+        "replica_band": labels[5],
+        "repairs": record.repairs,
+        "error": record.error,
+        "required_mhz": record.required_mhz,
+        "clock_mhz": record.clock_mhz,
+        "power_uw": record.power_uw,
+        "duty_cycle": record.duty_cycle,
+        "sync_overhead": record.sync_overhead,
+        "active_cores": record.active_cores,
+        "im_banks": record.im_banks,
+    }
+
+
 def run_search_point(point: dict[str, Value]) -> dict[str, Value]:
     """Search one generated app's placements (seeded, memoised).
 
@@ -552,6 +607,7 @@ RUNNERS: dict[str, Callable[[dict], dict]] = {
     "platform": run_platform_point,
     "ablation": run_ablation_point,
     "gen": run_gen_point,
+    "cover": run_cover_point,
     "search": run_search_point,
     "search-fast": run_search_fast_point,
 }

@@ -182,6 +182,30 @@ GEN = SweepSpec(
     base=(("duration_s", 5.0), ("num_cores", 8)),
 )
 
+#: Adversarial shaped tokens the cover campaign sweeps: one per
+#: shape knob plus a kitchen-sink combination and an unshaped
+#: control.  Each rides the cache/shard machinery as a plain string.
+ADVERSARIAL_TOKENS: tuple[str, ...] = (
+    "random-dag:2014:0:depth=10",
+    "random-dag:2014:1:fanin=6",
+    "random-dag:2014:2:diamond=1",
+    "random-dag:2014:3:trig=1",
+    "random-dag:2014:4:depth=9+fanin=5+diamond=1+trig=1+reps=6",
+    "random-dag:2014:5",
+)
+
+COVER = SweepSpec(
+    name="cover",
+    runner="cover",
+    description="adversarial shaped workloads x mapping policy, "
+                "with coverage-bin classification",
+    axes=(
+        ("gen_app", ADVERSARIAL_TOKENS),
+        ("policy", ("paper", "balanced")),
+    ),
+    base=(("duration_s", 2.0), ("num_cores", 8)),
+)
+
 SEARCH = SweepSpec(
     name="search",
     runner="search",
@@ -234,6 +258,7 @@ SPECS: dict[str, SweepSpec] = {
         FLEET_TIERS,
         PLATFORM,
         GEN,
+        COVER,
         SEARCH,
         SEARCH_FAST,
     )
@@ -252,6 +277,7 @@ BENCH_SPECS: dict[str, SweepSpec] = {
         FLEET_TIERS,
         PLATFORM,
         GEN,
+        COVER,
         SEARCH,
         SEARCH_FAST,
     )

@@ -1,0 +1,1 @@
+"""Coverage-model and fuzz-loop tests."""

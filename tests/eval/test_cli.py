@@ -247,17 +247,21 @@ def test_cli_search_rejects_unknown_oracle():
         main(["search", "--oracle", "nonsense"])
 
 
-def test_cli_search_rejects_bad_top_k():
-    with pytest.raises(ValueError, match="top-k must be >= 1"):
-        main(["search", "--seed", "3", "--count", "1", "--duration",
-              "1", "--oracle", "two-tier", "--top-k", "0"])
+def test_cli_search_rejects_bad_top_k(capsys):
+    assert main(["search", "--seed", "3", "--count", "1", "--duration",
+                 "1", "--oracle", "two-tier", "--top-k", "0"]) == 2
+    err = capsys.readouterr().err
+    assert err == ("python -m repro.eval: error: "
+                   "top-k must be >= 1, got 0\n")
 
 
-def test_cli_search_rejects_budget_below_top_k():
-    with pytest.raises(ValueError, match="screen budget must be >="):
-        main(["search", "--seed", "3", "--count", "1", "--duration",
-              "1", "--oracle", "two-tier", "--top-k", "5",
-              "--screen-budget", "4"])
+def test_cli_search_rejects_budget_below_top_k(capsys):
+    assert main(["search", "--seed", "3", "--count", "1", "--duration",
+                 "1", "--oracle", "two-tier", "--top-k", "5",
+                 "--screen-budget", "4"]) == 2
+    err = capsys.readouterr().err
+    assert err == ("python -m repro.eval: error: "
+                   "screen budget must be >= top-k, got 4 < 5\n")
 
 
 def test_cli_net_tiers_renders_hierarchy(capsys):
@@ -315,6 +319,63 @@ def test_cli_net_tiers_conflicts_with_flat_flags():
         main(["net", "--stream"])  # streaming flags need --tiers
 
 
-def test_cli_net_tiers_rejects_unknown_preset():
-    with pytest.raises(ValueError, match="unknown hierarchy"):
-        main(["net", "--tiers", "mars-campus"])
+def test_cli_net_tiers_rejects_unknown_preset(capsys):
+    assert main(["net", "--tiers", "mars-campus"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith(
+        "python -m repro.eval: error: unknown hierarchy 'mars-campus'")
+    assert err.count("\n") == 1  # one line, no traceback
+
+
+def test_cli_sweep_missing_spec_file_exits_2(capsys):
+    assert main(["sweep", "--spec-file", "/no/such/spec.json"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("python -m repro.eval: error: ")
+    assert "/no/such/spec.json" in err
+    assert err.count("\n") == 1
+
+
+def test_cli_usage_errors_exit_2_with_metrics_active(capsys):
+    # The --metrics wrapper must not turn usage errors back into
+    # tracebacks (the collector is torn down on the error path).
+    assert main(["net", "--tiers", "mars-campus", "--metrics"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith(
+        "python -m repro.eval: error: unknown hierarchy")
+    from repro import obs
+    assert obs.active() is None
+
+
+def test_cli_cover_renders_coverage(capsys):
+    assert main(["cover", "--budget", "12", "--saturation", "12",
+                 "--duration", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "Coverage fuzz: seed 7, 12/12 attempt(s)" in out
+    assert "bins:" in out and "covered" in out
+    assert "adversarial deep-chain:" in out
+    assert "outcomes:" in out
+
+
+def test_cli_cover_artifact_is_byte_identical(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    argv = ["cover", "--budget", "16", "--saturation", "16",
+            "--duration", "0.5", "--json"]
+    assert main(argv + [str(a)]) == 0
+    assert main(argv + [str(b)]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+    payload = json.loads(a.read_text())
+    assert payload["schema"] == "repro-cover/1"
+    assert payload["covered"] == len(payload["bins"])
+    assert payload["covered"] + len(payload["uncovered"]) == \
+        payload["total_bins"]
+    for entry in payload["bins"].values():
+        assert entry["hits"] >= 1
+        assert entry["first_token"]
+
+
+def test_cli_cover_random_mode(capsys):
+    assert main(["cover", "--random", "--budget", "8", "--saturation",
+                 "8", "--duration", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "Coverage random: seed 7, 8/8 attempt(s)" in out

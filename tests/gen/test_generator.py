@@ -15,6 +15,7 @@ from repro.gen import (
     parse_app_token,
     suite_tokens,
 )
+from repro.gen.topology import Shape
 from repro.gen.distributions import (
     APP_CYCLES_RANGE,
     DM_RATE_RANGE,
@@ -78,17 +79,58 @@ def test_different_identities_differ():
 
 def test_token_round_trip():
     token = app_token("fan-in", 99, 4)
-    assert parse_app_token(token) == ("fan-in", 99, 4)
+    assert token == "fan-in:99:4"
+    assert parse_app_token(token) == ("fan-in", 99, 4, Shape())
     app = app_from_token(token)
     assert app == generate_app("fan-in", 99, 4)
 
 
+def test_shaped_token_round_trip():
+    shape = Shape(depth=10, fan_in=6, diamond=True, triggered=True,
+                  replicas=5)
+    token = app_token("random-dag", 7, 0, shape=shape)
+    assert token == \
+        "random-dag:7:0:depth=10+fanin=6+diamond=1+trig=1+reps=5"
+    assert parse_app_token(token) == ("random-dag", 7, 0, shape)
+    assert app_from_token(token) == \
+        generate_app("random-dag", 7, 0, shape=shape)
+
+
+def test_default_shape_keeps_plain_identity():
+    assert app_token("random-dag", 7, 0, shape=Shape()) == \
+        "random-dag:7:0"
+    assert generate_app("random-dag", 7, 0, shape=Shape()) == \
+        generate_app("random-dag", 7, 0)
+
+
 @pytest.mark.parametrize("bad", [
     "nope:1:2", "pipeline:1", "pipeline:x:2", "pipeline:1:y",
+    "random-dag:1:2:", "random-dag:1:2:bogus=3",
+    "random-dag:1:2:depth", "random-dag:1:2:depth=x",
+    "random-dag:1:2:depth=1", "random-dag:1:2:depth=3+depth=4",
+    "random-dag:1:2:diamond=2", "pipeline:1:2:depth=3",
 ])
 def test_malformed_tokens_raise(bad):
     with pytest.raises(ValueError):
         parse_app_token(bad)
+
+
+def test_shape_knobs_rejected_outside_random_dag():
+    with pytest.raises(ValueError, match="random-dag"):
+        generate_app("pipeline", 1, 0, shape=Shape(depth=3))
+
+
+@pytest.mark.parametrize("shape,needle", [
+    (dict(depth=1), "depth"),
+    (dict(depth=99), "depth"),
+    (dict(fan_in=1), "fanin"),
+    (dict(fan_in=99), "fanin"),
+    (dict(replicas=0), "reps"),
+    (dict(replicas=99), "reps"),
+])
+def test_shape_bounds_name_the_knob(shape, needle):
+    with pytest.raises(ValueError, match=needle):
+        Shape(**shape)
 
 
 def test_suite_cycles_families_round_robin():

@@ -1,0 +1,107 @@
+"""Property-based round-trip tests for generated-app tokens.
+
+Every canonical token must survive ``token -> parse -> token``
+byte-identically: the tokens are the durable identity that sweep
+caches, artifacts and regression baselines key on, so any drift in
+the serialisation is silent cache poisoning.  Malformed tokens must
+raise :class:`ValueError` naming the offending field.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.gen.generator import app_token, parse_app_token
+from repro.gen.topology import (
+    FAMILY_ORDER,
+    MAX_SHAPE_DEPTH,
+    MAX_SHAPE_FAN_IN,
+    MAX_SHAPE_REPLICAS,
+    SHAPE_KNOB_ORDER,
+    Shape,
+    parse_shape,
+    shape_fragment,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+indices = st.integers(min_value=0, max_value=10_000)
+
+#: Any legal shape, including the all-default (falsy) one.
+shapes = st.builds(
+    Shape,
+    depth=st.none() | st.integers(2, MAX_SHAPE_DEPTH),
+    fan_in=st.none() | st.integers(2, MAX_SHAPE_FAN_IN),
+    diamond=st.booleans(),
+    triggered=st.booleans(),
+    replicas=st.none() | st.integers(1, MAX_SHAPE_REPLICAS),
+)
+
+
+@settings(deadline=None)
+@given(family=st.sampled_from(FAMILY_ORDER), seed=seeds, index=indices)
+def test_plain_token_round_trips(family, seed, index):
+    token = app_token(family, seed, index)
+    assert token.count(":") == 2
+    parsed = parse_app_token(token)
+    assert parsed == (family, seed, index, Shape())
+    assert app_token(*parsed[:3], shape=parsed[3]) == token
+
+
+@settings(deadline=None)
+@given(seed=seeds, index=indices, shape=shapes)
+def test_shaped_token_round_trips(seed, index, shape):
+    token = app_token("random-dag", seed, index, shape=shape)
+    family, seed2, index2, shape2 = parse_app_token(token)
+    assert (family, seed2, index2) == ("random-dag", seed, index)
+    assert shape2 == shape
+    assert app_token(family, seed2, index2, shape=shape2) == token
+
+
+@settings(deadline=None)
+@given(shape=shapes)
+def test_shape_fragment_round_trips(shape):
+    fragment = shape_fragment(shape)
+    if not shape:
+        assert fragment == ""
+    else:
+        assert parse_shape(fragment) == shape
+        assert shape_fragment(parse_shape(fragment)) == fragment
+
+
+@settings(deadline=None)
+@given(shape=shapes)
+def test_shape_fragment_lists_knobs_in_canonical_order(shape):
+    fragment = shape_fragment(shape)
+    knobs = [part.split("=")[0] for part in fragment.split("+") if part]
+    order = {knob: i for i, knob in enumerate(SHAPE_KNOB_ORDER)}
+    assert knobs == sorted(knobs, key=order.__getitem__)
+
+
+@settings(deadline=None)
+@given(
+    seed=seeds,
+    index=indices,
+    knob=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8
+    ).filter(lambda s: s not in SHAPE_KNOB_ORDER),
+)
+def test_unknown_knob_raises_naming_the_knob(seed, index, knob):
+    with pytest.raises(ValueError) as err:
+        parse_app_token(f"random-dag:{seed}:{index}:{knob}=3")
+    assert knob in str(err.value)
+
+
+@settings(deadline=None)
+@given(seed=seeds, index=indices, knob=st.sampled_from(("depth", "fanin")))
+def test_non_integer_knob_value_raises_naming_the_knob(seed, index, knob):
+    with pytest.raises(ValueError) as err:
+        parse_app_token(f"random-dag:{seed}:{index}:{knob}=wide")
+    assert knob in str(err.value)
+
+
+@settings(deadline=None)
+@given(seed=seeds, index=indices, shape=shapes.filter(bool))
+def test_shaped_tokens_rejected_outside_random_dag(seed, index, shape):
+    token = f"pipeline:{seed}:{index}:{shape_fragment(shape)}"
+    with pytest.raises(ValueError, match="random-dag"):
+        parse_app_token(token)

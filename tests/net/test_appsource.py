@@ -63,7 +63,7 @@ def test_generated_source_binds_suite_apps_with_plans():
     source = GeneratedSuiteSource(seed=11, count=6, policy="balanced")
     binding = source.bind(_rng())
     assert binding.token in source.tokens()
-    family, seed, _ = parse_app_token(binding.token)
+    family, seed, _, _ = parse_app_token(binding.token)
     assert binding.family == family and seed == 11
     assert binding.policy == "balanced"
     assert binding.plan is not None and binding.plan.multicore

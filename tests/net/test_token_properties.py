@@ -1,0 +1,139 @@
+"""Property-based round-trip tests for net scenario and tiers tokens.
+
+Scenario tokens (``gen:<base>:<seed>:<count>:<policy>[:<fams>]
+[:<cores>]``) and hierarchy tokens (``tiers:<proto@PxF[~S]/...>:
+<base>``) ride through sweep points, caches and artifacts as plain
+JSON scalars, so their canonical form must survive ``token -> parse
+-> token`` byte-identically.  Malformed tokens must raise
+:class:`ValueError` naming the offending field.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.gen.policies import POLICIES
+from repro.gen.topology import FAMILY_ORDER
+from repro.net.hierarchy import HIERARCHIES, hierarchy_token, parse_hierarchy
+from repro.net.scenarios import (
+    SCENARIOS,
+    generated_scenario,
+    parse_scenario,
+    scenario_token,
+)
+from repro.net.timesync import PROTOCOLS
+
+#: Positive floats whose ``{value:g}`` rendering parses back to the
+#: same double — one decimal digit, <= 6 significant digits.
+nice_floats = st.integers(min_value=1, max_value=5000).map(
+    lambda n: n / 10
+)
+
+scenario_tokens = st.builds(
+    lambda base, seed, count, policy, families, cores: scenario_token(
+        generated_scenario(
+            base=base,
+            seed=seed,
+            count=count,
+            policy=policy,
+            families=families or None,
+            num_cores=cores,
+        )
+    ),
+    base=st.sampled_from(sorted(SCENARIOS)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=1, max_value=32),
+    policy=st.sampled_from(sorted(POLICIES)),
+    families=st.lists(
+        st.sampled_from(FAMILY_ORDER), unique=True, max_size=5
+    ).map(tuple),
+    cores=st.integers(min_value=1, max_value=32),
+)
+
+base_tokens = st.sampled_from(sorted(SCENARIOS)) | scenario_tokens
+
+tier_segments = st.builds(
+    lambda proto, period, fan, scale: (
+        f"{proto}@{period:g}x{fan}"
+        + (f"~{scale:g}" if scale is not None else "")
+    ),
+    proto=st.sampled_from(sorted(PROTOCOLS)),
+    period=nice_floats,
+    fan=st.integers(min_value=1, max_value=16),
+    scale=st.none() | nice_floats.filter(lambda v: v != 1.0),
+)
+
+tiers_tokens = st.builds(
+    lambda segments, base: f"tiers:{'/'.join(segments)}:{base}",
+    segments=st.lists(tier_segments, min_size=1, max_size=3),
+    base=base_tokens,
+)
+
+
+@settings(deadline=None)
+@given(name=st.sampled_from(sorted(SCENARIOS)))
+def test_scenario_preset_round_trips(name):
+    assert scenario_token(parse_scenario(name)) == name
+
+
+@settings(deadline=None)
+@given(token=scenario_tokens)
+def test_generated_scenario_token_round_trips(token):
+    assert scenario_token(parse_scenario(token)) == token
+
+
+@settings(deadline=None)
+@given(name=st.sampled_from(sorted(HIERARCHIES)))
+def test_hierarchy_preset_round_trips(name):
+    assert hierarchy_token(parse_hierarchy(name)) == name
+
+
+@settings(deadline=None, max_examples=50)
+@given(token=tiers_tokens)
+def test_tiers_token_round_trips(token):
+    assert hierarchy_token(parse_hierarchy(token)) == token
+
+
+@settings(deadline=None)
+@given(
+    name=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12
+    ).filter(lambda s: s not in SCENARIOS)
+)
+def test_unknown_scenario_names_the_choices(name):
+    with pytest.raises(ValueError) as err:
+        parse_scenario(name)
+    assert "choose from" in str(err.value)
+
+
+@settings(deadline=None)
+@given(seed=st.sampled_from(("x", "1.5", "", "one")))
+def test_non_integer_scenario_seed_names_the_field(seed):
+    with pytest.raises(ValueError, match="seed"):
+        parse_scenario(f"gen:dense-ward:{seed}:3:paper")
+
+
+@settings(deadline=None)
+@given(
+    parts=st.integers(min_value=1, max_value=4)
+    | st.integers(min_value=8, max_value=9)
+)
+def test_wrong_arity_scenario_token_is_malformed(parts):
+    token = ":".join(["gen", "dense-ward", "1", "3", "paper", "", "8",
+                      "9", "10"][:parts])
+    with pytest.raises(ValueError, match="malformed|unknown"):
+        parse_scenario(token)
+
+
+@settings(deadline=None)
+@given(segment=st.sampled_from(("ftsp10x4", "rbs@2y6", "x", "@x")))
+def test_malformed_tier_segment_is_rejected(segment):
+    with pytest.raises(ValueError, match="malformed hierarchy token"):
+        parse_hierarchy(f"tiers:{segment}:dense-ward")
+
+
+@settings(deadline=None)
+@given(period=st.sampled_from(("p", "", "2x3")))
+def test_non_numeric_tier_period_names_the_field(period):
+    with pytest.raises(ValueError, match="period"):
+        parse_hierarchy(f"tiers:ftsp@{period}x4:dense-ward")

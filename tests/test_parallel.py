@@ -2,11 +2,25 @@
 
 import pytest
 
+from repro import obs
 from repro.parallel import even_shard_size, pool_map, shard
 
 
 def _square(value):
     return value * value
+
+
+class BeatLost(RuntimeError):
+    """Domain-flavoured worker failure with a payload-carrying arg."""
+
+
+def _explode(value):
+    raise BeatLost(f"beat {value} lost")
+
+
+def _explode_observed(value):
+    obs.add("exploded.before", 1)
+    raise BeatLost(f"beat {value} lost")
 
 
 def test_shard_and_even_shard_size():
@@ -45,3 +59,47 @@ def test_pool_map_parallel_matches_inline():
 def test_pool_map_rejects_zero_workers():
     with pytest.raises(ValueError):
         pool_map(_square, [1], workers=0)
+
+
+def test_pool_map_worker_raise_propagates_original_exception():
+    # The pool re-raises the worker's own exception class in the
+    # parent — not a pickling wrapper — with its message intact.
+    with pytest.raises(BeatLost, match=r"beat \d lost"):
+        pool_map(_explode, [1, 2, 3], workers=2)
+
+
+def test_pool_map_inline_raise_propagates_original_exception():
+    with pytest.raises(BeatLost, match="beat 1 lost"):
+        pool_map(_explode, [1], workers=1)
+
+
+def test_pool_map_worker_raise_leaves_no_orphaned_registry():
+    # A failing pooled run must not leak worker-local registries into
+    # the parent: the caller's registry stays active through the
+    # failure and deactivates normally with the context.
+    with obs.collecting() as registry:
+        with pytest.raises(BeatLost):
+            pool_map(_explode_observed, [1, 2], workers=2)
+        assert obs.active() is registry
+        # the registry still works: a follow-up run merges cleanly
+        pool_map(_square, [1, 2, 3], workers=2)
+    assert obs.active() is None
+
+
+def test_pool_map_inline_raise_leaves_no_orphaned_registry():
+    with obs.collecting() as registry:
+        with pytest.raises(BeatLost):
+            pool_map(_explode_observed, [7], workers=1)
+        assert obs.active() is registry
+        # the inline path recorded straight into the caller's
+        # registry before raising
+        counters = registry.snapshot()["counters"]
+        assert counters["exploded.before"] == 1
+    assert obs.active() is None
+
+
+def test_pool_map_raise_without_collection_leaves_obs_inactive():
+    assert obs.active() is None
+    with pytest.raises(BeatLost):
+        pool_map(_explode, [1, 2], workers=2)
+    assert obs.active() is None
