@@ -2,11 +2,12 @@
 
 Replays every campaign in :data:`repro.sweep.specs.BENCH_SPECS`,
 writes one ``BENCH_<name>.json`` per bench plus the merged
-``BENCH_all.json`` the CI regression gate consumes.  The ``oracle``
-bench (``benchmarks/bench_oracle.py``) is not a sweep campaign — it
-hand-times analytic vs exact scoring — but it emits the same schema
-keys, so it rides in the merged document and the regression gate
-alongside the others.
+``BENCH_all.json`` the CI regression gate consumes.  Two benches are
+not sweep campaigns but emit the same schema keys and ride in the
+merged document alongside the others: ``oracle``
+(``bench_oracle.py``, analytic vs exact candidate scoring) and
+``fleet-fast`` (``bench_fleet.py --fast``, the batched analytic
+compute tier vs the exact fleet resolver).
 
 Run with::
 
@@ -21,6 +22,7 @@ from pathlib import Path
 from repro.sweep import BENCH_SPECS, ResultCache, run_all_benches
 from repro.sweep.artifacts import merge_bench
 
+import bench_fleet
 import bench_oracle
 
 
@@ -56,7 +58,7 @@ def main(argv=None) -> int:
         nargs="*",
         default=None,
         metavar="NAME",
-        choices=sorted([*BENCH_SPECS, "oracle"]),
+        choices=sorted([*BENCH_SPECS, "oracle", "fleet-fast"]),
         help="run only these benches (default: all)",
     )
     args = parser.parse_args(argv)
@@ -65,11 +67,15 @@ def main(argv=None) -> int:
         if args.cache_dir is not None and not args.no_cache
         else None
     )
+    extra_benches = ("oracle", "fleet-fast")
     run_oracle = args.only is None or "oracle" in args.only
+    run_fast = args.only is None or "fleet-fast" in args.only
     sweep_names = (
         None
         if args.only is None
-        else tuple(name for name in args.only if name != "oracle")
+        else tuple(
+            name for name in args.only if name not in extra_benches
+        )
     )
     merged, path = run_all_benches(
         out_dir=args.out_dir,
@@ -79,16 +85,21 @@ def main(argv=None) -> int:
         use_cache=not args.no_cache,
         force=args.force,
     )
+    extra_payloads = {}
     if run_oracle:
-        payload = bench_oracle.measure()
-        oracle_path = Path(args.out_dir) / "BENCH_oracle.json"
-        oracle_path.parent.mkdir(parents=True, exist_ok=True)
-        oracle_path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        extra_payloads["oracle"] = bench_oracle.measure()
+    if run_fast:
+        extra_payloads["fleet-fast"] = bench_fleet.measure_fast()
+    if extra_payloads:
         benches = dict(merged["benches"])
-        benches["oracle"] = payload
+        for name, payload in extra_payloads.items():
+            extra_path = Path(args.out_dir) / f"BENCH_{name}.json"
+            extra_path.parent.mkdir(parents=True, exist_ok=True)
+            extra_path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            benches[name] = payload
         merged = merge_bench(benches)
         path.write_text(
             json.dumps(merged, indent=2, sort_keys=True) + "\n",

@@ -204,6 +204,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mapping policy placing every generated app "
              f"(default: {NET_SUITE_POLICY})")
     net.add_argument(
+        "--compute", choices=("exact", "analytic"), default="exact",
+        help="app-compute resolution: 'exact' dedupes identical "
+             "per-node work through the content-addressed compute "
+             "cache (byte-identical artifacts), 'analytic' "
+             "additionally screens uncached work with the calibrated "
+             "closed-form model (default: exact)")
+    net.add_argument(
+        "--compute-cache", default=None, metavar="DIR",
+        help="on-disk compute-cache root shared across runs "
+             "(default: $REPRO_COMPUTE_CACHE, else in-process only)")
+    net.add_argument(
         "--tiers", default=None, metavar="SPEC",
         help="run a hierarchical fleet instead: preset name "
              f"({', '.join(sorted(HIERARCHIES))}) or a "
@@ -493,7 +504,9 @@ def _dispatch(
                 tiers, duration_s=net_duration, seed=args.seed,
                 workers=args.workers, wave_size=wave,
                 checkpoint_dir=args.checkpoint_dir,
-                max_waves=args.max_waves)
+                max_waves=args.max_waves,
+                compute=getattr(args, "compute", None),
+                compute_cache=getattr(args, "compute_cache", None))
             if args.json is not None and result.completed:
                 write_hierarchy_json(result, args.json)
             sections.append(render_hierarchy(result))
@@ -509,7 +522,9 @@ def _dispatch(
             suite_seed=getattr(args, "suite_seed", None),
             suite_count=getattr(args, "suite_count", None),
             families=tuple(net_families) if net_families else None,
-            policy=getattr(args, "policy", None))
+            policy=getattr(args, "policy", None),
+            compute=getattr(args, "compute", None),
+            compute_cache=getattr(args, "compute_cache", None))
         if getattr(args, "json", None) is not None:
             write_net_json(report, args.json)
         sections.append(render_net(report))

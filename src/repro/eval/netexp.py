@@ -98,7 +98,9 @@ def run_net(scenario: str = "drifting-wearables",
             suite_seed: int | None = None,
             suite_count: int | None = None,
             families: tuple[str, ...] | None = None,
-            policy: str | None = None) -> NetReport:
+            policy: str | None = None,
+            compute: str | None = None,
+            compute_cache: str | None = None) -> NetReport:
     """Run one scenario and report synced vs. free-running error.
 
     Args:
@@ -116,6 +118,10 @@ def run_net(scenario: str = "drifting-wearables",
         families: topology-family cycle of the suite (default: all).
         policy: mapping policy placing every generated app
             (default ``balanced``).
+        compute: app-compute resolution mode (``"exact"`` /
+            ``"analytic"``; None = legacy inline simulation — the
+            exact resolver is byte-identical to it).
+        compute_cache: on-disk compute-cache root (optional).
     """
     heterogeneous = any(value is not None for value in
                         (suite_seed, suite_count, families, policy))
@@ -128,7 +134,8 @@ def run_net(scenario: str = "drifting-wearables",
             policy=NET_SUITE_POLICY if policy is None else policy,
             families=families)
     result = run_fleet(scenario, n_nodes=n_nodes, duration_s=duration_s,
-                       seed=seed, protocol=protocol, workers=workers)
+                       seed=seed, protocol=protocol, workers=workers,
+                       compute=compute, compute_cache=compute_cache)
     return NetReport(scenario=result.summary.scenario, result=result,
                      seed=seed)
 
@@ -206,6 +213,11 @@ def net_payload(report: NetReport) -> dict:
                                for group in summary.families]
         payload["policies"] = [asdict(group)
                                for group in summary.policies]
+    compute = report.result.compute
+    if compute is not None and compute.mode == "analytic":
+        # Exact-mode artifacts stay byte-identical to the legacy
+        # inline path; only analytic runs disclose their screening.
+        payload["compute_summary"] = compute.to_mapping()
     return payload
 
 
@@ -235,7 +247,7 @@ def hierarchy_payload(result: HierarchyResult) -> dict:
     exact failure mode the streaming executor removes.
     """
     summary = result.summary
-    return {
+    payload = {
         "schema": NET_SCHEMA_V3,
         "scenario": result.token,
         "protocol": summary.protocol,
@@ -257,6 +269,9 @@ def hierarchy_payload(result: HierarchyResult) -> dict:
         "improvement": _json_safe(hierarchy_improvement(result)),
         "tiers": [_tier_entry(tier) for tier in result.tiers],
     }
+    if result.compute is not None and result.compute.mode == "analytic":
+        payload["compute_summary"] = result.compute.to_mapping()
+    return payload
 
 
 def write_hierarchy_json(result: HierarchyResult,

@@ -220,10 +220,26 @@ def render_net(report: NetReport) -> str:
                                       summary.families))
         lines.extend(_breakdown_block("per-policy breakdown",
                                       summary.policies))
+    if report.result.compute is not None:
+        lines.append(_compute_line(report.result.compute))
     lines.append(
         f"  throughput: {report.result.nodes_per_second:.1f} nodes/s "
         f"({report.result.elapsed_s:.2f} s)")
     return "\n".join(lines)
+
+
+def _compute_line(compute) -> str:
+    """One-line account of the fleet's compute resolution."""
+    line = (f"  compute: {compute.mode} - {compute.requests} request(s) "
+            f"over {compute.distinct_keys} distinct unit(s), "
+            f"{compute.screened} screened / {compute.exact} exact")
+    calibration = compute.calibration
+    if calibration is not None:
+        verdict = "ok" if calibration["within"] else "FAILED"
+        line += (f"; calibration {verdict} "
+                 f"(max err {calibration['max_error']:.2e} over "
+                 f"{calibration['samples']} sample(s))")
+    return line
 
 
 def render_hierarchy(result: HierarchyResult) -> str:
@@ -279,6 +295,8 @@ def render_hierarchy(result: HierarchyResult) -> str:
     lines.append(
         f"  waves: {result.waves_run}/{result.waves} wave(s) x "
         f"{result.wave_size} subtree(s)")
+    if result.compute is not None:
+        lines.append(_compute_line(result.compute))
     lines.append(
         f"  throughput: {result.nodes_per_second:.1f} nodes/s "
         f"({result.elapsed_s:.2f} s, peak rss {result.peak_rss_mb:.0f} MB)")

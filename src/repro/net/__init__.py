@@ -13,6 +13,8 @@ protocols and a sharded multiprocessing runner:
 * :mod:`repro.net.timesync` — NoSync / reference-broadcast /
   FTSP-style offset+skew protocols.
 * :mod:`repro.net.node` — clock + radio + a mapped ECG application.
+* :mod:`repro.net.compute` — content-addressed compute cache and
+  the batched analytic fast path fleets resolve app power through.
 * :mod:`repro.net.fleet` — deterministic serial/parallel execution.
 * :mod:`repro.net.scenarios` — named deployment presets.
 * :mod:`repro.net.hierarchy` — cluster→gateway→backbone tiers with
@@ -32,6 +34,18 @@ from .appsource import (
     source_from_mapping,
 )
 from .clock import ClockSpec, LocalClock
+from .compute import (
+    COMPUTE_CACHE_ENV,
+    COMPUTE_ENTRY_SCHEMA,
+    COMPUTE_MODES,
+    ComputeCache,
+    ComputeRequest,
+    ComputeResolution,
+    ComputeResolver,
+    ComputeSettings,
+    ComputeSummary,
+    ResolvedCompute,
+)
 from .fleet import (
     DEFAULT_DURATION_S,
     DEFAULT_SEED,
@@ -109,7 +123,16 @@ __all__ = [
     "Beacon",
     "BenchmarkSource",
     "CHECKPOINT_SCHEMA",
+    "COMPUTE_CACHE_ENV",
+    "COMPUTE_ENTRY_SCHEMA",
+    "COMPUTE_MODES",
     "ClockSpec",
+    "ComputeCache",
+    "ComputeRequest",
+    "ComputeResolution",
+    "ComputeResolver",
+    "ComputeSettings",
+    "ComputeSummary",
     "DEFAULT_DURATION_S",
     "DEFAULT_SEED",
     "DEFAULT_WAVE_SUBTREES",
@@ -141,6 +164,7 @@ __all__ = [
     "RadioSpec",
     "Reception",
     "ReferenceBroadcastSync",
+    "ResolvedCompute",
     "SCENARIOS",
     "Scenario",
     "StreamingConfig",

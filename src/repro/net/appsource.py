@@ -36,7 +36,7 @@ processes) and serialisable through :meth:`to_mapping` /
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Callable, ClassVar
 
@@ -84,6 +84,10 @@ class AppBinding:
         num_cores: provisioned platform width the node simulates
             (the paper's 8 for benchmarks; generated sources carry
             their own so narrow/wide platforms pay correct power).
+        app_key: precomputed content hash of ``(app, plan,
+            num_cores)`` from :func:`repro.net.compute.app_plan_key`
+            ("" = derive on demand); lets the compute resolver
+            address shared work without re-fingerprinting per node.
     """
 
     name: str
@@ -96,6 +100,32 @@ class AppBinding:
     repairs: int = 0
     skipped: int = 0
     num_cores: int = 8
+    app_key: str = ""
+
+
+def binding_app_key(binding: AppBinding) -> str:
+    """The binding's content hash (precomputed or derived)."""
+    if binding.app_key:
+        return binding.app_key
+    from .compute import app_plan_key
+
+    return app_plan_key(binding.app, binding.plan, binding.num_cores)
+
+
+@lru_cache(maxsize=64)
+def _benchmark_binding(name: str, abnormal_ratio: float) -> AppBinding:
+    """Memoised benchmark binding.
+
+    Bindings and their specs are frozen/read-only downstream, so
+    every node drawing the same ``(benchmark, ratio)`` can share one
+    instance instead of rebuilding the spec and its content hash.
+    """
+    from .compute import app_plan_key
+
+    app = APPS[name](abnormal_ratio)
+    return AppBinding(
+        name=name, app=app, app_key=app_plan_key(app, None, 8)
+    )
 
 
 @dataclass(frozen=True)
@@ -131,7 +161,19 @@ class BenchmarkSource:
         names = [name for name, _ in self.mix]
         weights = [weight for _, weight in self.mix]
         name = rng.choices(names, weights=weights)[0]
-        return AppBinding(name=name, app=APPS[name](abnormal_ratio))
+        return _benchmark_binding(name, abnormal_ratio)
+
+    def universe(
+        self, abnormal_ratio: float = 0.0
+    ) -> tuple[AppBinding, ...]:
+        """Every binding this source can produce (mix order)."""
+        names: list[str] = []
+        for name, _ in self.mix:
+            if name not in names:
+                names.append(name)
+        return tuple(
+            _benchmark_binding(name, abnormal_ratio) for name in names
+        )
 
     def describe(self) -> str:
         """One-line human summary."""
@@ -179,6 +221,40 @@ def _resolve_generated(
             app, repairs = repair_app(app, num_cores)
         plan = policy.map(app, num_cores)
         return app, plan, repairs
+
+
+@lru_cache(maxsize=512)
+def _generated_binding(
+    token: str, policy_name: str, num_cores: int
+) -> AppBinding:
+    """Memoised skip-free binding for one generated draw.
+
+    Pure function of its arguments (like :func:`_resolve_generated`,
+    which it wraps); memoising it also stops fleets from re-running
+    ``plan_required_mhz`` and the content hash once per node.
+
+    Raises:
+        repro.apps.mapping.MappingError: the policy cannot place the
+            app even after replica repair.
+    """
+    from ..gen.generator import parse_app_token
+    from .compute import app_plan_key
+
+    app, plan, repairs = _resolve_generated(token, policy_name, num_cores)
+    family, _, _, _ = parse_app_token(token)
+    floor = plan_required_mhz(plan) if plan.multicore else 0.0
+    return AppBinding(
+        name=app.name,
+        app=app,
+        token=token,
+        family=family,
+        policy=policy_name,
+        plan=plan,
+        floor_mhz=floor,
+        repairs=repairs,
+        num_cores=num_cores,
+        app_key=app_plan_key(app, plan, num_cores),
+    )
 
 
 @dataclass(frozen=True)
@@ -231,42 +307,49 @@ class GeneratedSuiteSource:
             repro.apps.mapping.MappingError: no app in the suite is
                 placeable under the policy.
         """
-        from ..gen.generator import parse_app_token
-
         tokens = self.tokens()
         start = rng.randrange(self.count)
         errors: list[str] = []
         for offset in range(self.count):
             token = tokens[(start + offset) % self.count]
             try:
-                app, plan, repairs = _resolve_generated(
+                binding = _generated_binding(
                     token, self.policy, self.num_cores
                 )
             except MappingError as exc:
                 errors.append(str(exc))
                 continue
-            family, _, _, _ = parse_app_token(token)
-            floor = plan_required_mhz(plan) if plan.multicore else 0.0
             obs.add("net.apps.resolved")
             if offset:
                 obs.add("net.apps.skipped", offset)
-            return AppBinding(
-                name=app.name,
-                app=app,
-                token=token,
-                family=family,
-                policy=self.policy,
-                plan=plan,
-                floor_mhz=floor,
-                repairs=repairs,
-                skipped=offset,
-                num_cores=self.num_cores,
-            )
+                binding = replace(binding, skipped=offset)
+            return binding
         raise MappingError(
             f"policy {self.policy!r} places no app of suite "
             f"(seed {self.seed}, count {self.count}): "
             + "; ".join(errors)
         )
+
+    def universe(
+        self, abnormal_ratio: float = 0.0
+    ) -> tuple[AppBinding, ...]:
+        """Every placeable binding of the suite, in suite order.
+
+        Enumerable without any node draws — the compute resolver
+        pre-resolves this closed set once per run instead of
+        discovering bindings node by node.
+        """
+        bindings: list[AppBinding] = []
+        for token in self.tokens():
+            try:
+                bindings.append(
+                    _generated_binding(
+                        token, self.policy, self.num_cores
+                    )
+                )
+            except MappingError:
+                continue
+        return tuple(bindings)
 
     def describe(self) -> str:
         """One-line human summary."""
@@ -320,6 +403,16 @@ class MixedSource:
         weights = [weight for _, weight in self.parts]
         chosen = rng.choices(sources, weights=weights)[0]
         return chosen.bind(rng, abnormal_ratio)
+
+    def universe(
+        self, abnormal_ratio: float = 0.0
+    ) -> tuple[AppBinding, ...]:
+        """Union of the parts' universes (duplicates are fine — the
+        compute resolver dedupes by content key)."""
+        bindings: list[AppBinding] = []
+        for source, _ in self.parts:
+            bindings.extend(source.universe(abnormal_ratio))
+        return tuple(bindings)
 
     def describe(self) -> str:
         """One-line human summary."""
@@ -384,5 +477,6 @@ __all__ = [
     "GeneratedSuiteSource",
     "MIXED_KIND",
     "MixedSource",
+    "binding_app_key",
     "source_from_mapping",
 ]

@@ -22,6 +22,14 @@ from dataclasses import dataclass
 
 from .. import obs
 from ..parallel import even_shard_size, pool_map, shard
+from .compute import (
+    ComputeResolver,
+    ComputeSettings,
+    ComputeSummary,
+    ResolvedCompute,
+    compute_settings,
+    record_compute_counters,
+)
 from .node import (
     ERROR_SAMPLE_HZ,
     REFERENCE_NODE_ID,
@@ -51,12 +59,15 @@ class FleetConfig:
             allowed and yields an empty summary).
         duration_s: simulated seconds of ECG per node.
         seed: fleet seed; all per-node streams derive from it.
+        compute: app-compute resolution settings (None = simulate
+            inline per node, the legacy path).
     """
 
     scenario: Scenario
     n_nodes: int
     duration_s: float = DEFAULT_DURATION_S
     seed: int = DEFAULT_SEED
+    compute: ComputeSettings | None = None
 
 
 @dataclass(frozen=True)
@@ -72,6 +83,8 @@ class FleetResult:
         workers: worker processes used (1 = serial).
         shards: number of node batches executed.
         mode: ``"serial"`` or ``"parallel"``.
+        compute: compute-resolution account (None = legacy inline
+            simulation).
     """
 
     summary: FleetSummary
@@ -81,17 +94,31 @@ class FleetResult:
     workers: int
     shards: int
     mode: str
+    compute: ComputeSummary | None = None
 
 
 def _simulate_shard(payload: tuple) -> list[NodeResult]:
-    """Simulate one batch of node ids (top-level: must pickle)."""
-    config, node_ids, beacons, sample_times, ref_readings = payload
+    """Simulate one batch of node ids (top-level: must pickle).
+
+    ``resolved`` maps compute keys to pre-resolved entries (resolved
+    once in the main process); None keeps the legacy inline path.  A
+    missing key is a hard error — workers never fall back to silent
+    re-simulation.
+    """
+    config, node_ids, beacons, sample_times, ref_readings, resolved = payload
     results = []
     for node_id in node_ids:
         node = build_node(
             config.scenario, node_id, config.seed, config.duration_s
         )
-        results.append(node.simulate(beacons, sample_times, ref_readings))
+        compute: ResolvedCompute | None = None
+        if resolved is not None:
+            compute = resolved[node.compute_request().key]
+        results.append(
+            node.simulate(
+                beacons, sample_times, ref_readings, compute=compute
+            )
+        )
     return results
 
 
@@ -141,21 +168,40 @@ class FleetRunner:
             shard_size = even_shard_size(len(node_ids), workers)
         shards = shard(node_ids, shard_size)
         beacons, sample_times, ref_readings = self._schedule()
-        payloads = [
-            (config, ids, beacons, sample_times, ref_readings)
-            for ids in shards
-        ]
-
         parallel = workers > 1 and len(shards) > 1
         workers_used = min(workers, len(shards)) if parallel else 1
         obs.add("net.fleet.runs")
         obs.add("net.fleet.nodes", config.n_nodes)
+        # The resolve step runs inside the timed window: reported
+        # throughput always includes the compute work, whichever tier
+        # performed it.
         span = obs.span("net.fleet.run").start()
+        resolution = None
+        if config.compute is not None and node_ids:
+            with obs.span("net.compute.resolve"):
+                resolution = ComputeResolver(config.compute).resolve(
+                    [
+                        build_node(
+                            config.scenario,
+                            node_id,
+                            config.seed,
+                            config.duration_s,
+                        ).compute_request()
+                        for node_id in node_ids
+                    ]
+                )
+        resolved = resolution.table if resolution is not None else None
+        payloads = [
+            (config, ids, beacons, sample_times, ref_readings, resolved)
+            for ids in shards
+        ]
         if parallel:
             batches = pool_map(_simulate_shard, payloads, workers_used)
         else:
             batches = [_simulate_shard(payload) for payload in payloads]
         elapsed = span.stop()
+        if resolution is not None:
+            record_compute_counters(resolution.summary)
 
         results = sorted(
             (node for batch in batches for node in batch),
@@ -169,6 +215,7 @@ class FleetRunner:
             workers=workers_used,
             shards=len(shards),
             mode="parallel" if parallel else "serial",
+            compute=resolution.summary if resolution is not None else None,
         )
 
     @staticmethod
@@ -249,6 +296,8 @@ def run_fleet(
     protocol: str | None = None,
     workers: int = 1,
     shard_size: int | None = None,
+    compute: str | ComputeSettings | None = None,
+    compute_cache: str | None = None,
 ) -> FleetResult:
     """Convenience wrapper: resolve a scenario and run it once.
 
@@ -263,6 +312,12 @@ def run_fleet(
             ``"none"`` for the unsynchronized baseline).
         workers: worker processes (1 = serial).
         shard_size: explicit batch size (defaults to an even split).
+        compute: ``"exact"`` / ``"analytic"`` /
+            :class:`~repro.net.compute.ComputeSettings` to resolve
+            app compute through the fleet fast path (None = legacy
+            inline simulation; ``"exact"`` is byte-identical to it).
+        compute_cache: on-disk compute-cache root (used when
+            ``compute`` is a mode string).
 
     Raises:
         ValueError: unknown scenario name — rejected here at the
@@ -283,5 +338,6 @@ def run_fleet(
         n_nodes=scenario.default_nodes if n_nodes is None else n_nodes,
         duration_s=duration_s,
         seed=seed,
+        compute=compute_settings(compute, compute_cache),
     )
     return FleetRunner(config).run(workers=workers, shard_size=shard_size)

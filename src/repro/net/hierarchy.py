@@ -514,20 +514,12 @@ def _profile_power_uw(
         return result.power.total_uw
 
 
-def binding_power_uw(
+def profile_key(
     binding: AppBinding, base: Scenario, duration_s: float
-) -> float:
-    """One bound app's compute power from the shared profile, in µW.
-
-    The profile runs at the scenario's canonical heart rate (the
-    midpoint of ``bpm_range``) and a bounded duration
-    (:data:`PROFILE_DURATION_S`), so a mega-fleet pays one exact
-    simulation per *distinct* application instead of one per node —
-    the deliberate accuracy/scale trade of the hierarchy layer.
-    """
+) -> tuple:
+    """The app-profile identity ``binding_power_uw`` resolves by."""
     bpm = (base.bpm_range[0] + base.bpm_range[1]) / 2.0
-    obs.add("net.profile.requests")
-    return _profile_power_uw(
+    return (
         binding.token,
         binding.name,
         binding.policy,
@@ -536,6 +528,78 @@ def binding_power_uw(
         bpm,
         min(duration_s, PROFILE_DURATION_S),
     )
+
+
+def binding_power_uw(
+    binding: AppBinding,
+    base: Scenario,
+    duration_s: float,
+    profiles: dict[tuple, float] | None = None,
+) -> float:
+    """One bound app's compute power from the shared profile, in µW.
+
+    The profile runs at the scenario's canonical heart rate (the
+    midpoint of ``bpm_range``) and a bounded duration
+    (:data:`PROFILE_DURATION_S`), so a mega-fleet pays one exact
+    simulation per *distinct* application instead of one per node —
+    the deliberate accuracy/scale trade of the hierarchy layer.
+
+    When ``profiles`` is given (a table pre-resolved in the main
+    process from the source's binding universe, see
+    :func:`profile_table`), the power is a plain lookup — workers
+    never simulate.  A missing key is a hard error rather than a
+    silent re-simulation.
+    """
+    obs.add("net.profile.requests")
+    key = profile_key(binding, base, duration_s)
+    if profiles is not None:
+        return profiles[key]
+    return _profile_power_uw(*key)
+
+
+def profile_table(
+    base: Scenario, duration_s: float, resolver
+) -> "tuple[dict[tuple, float], object]":
+    """Pre-resolve every profile the scenario's source can request.
+
+    Enumerates the source's closed binding universe, resolves all
+    distinct compute work in one batched
+    :meth:`repro.net.compute.ComputeResolver.resolve` call, and
+    returns ``(profile-key -> power µW table, ComputeSummary)``.
+    The table values are byte-identical to what
+    :func:`_profile_power_uw` would produce, because cached payloads
+    rebuild their reports in the exact category order.
+    """
+    from ..sysc.engine import Mode, cached_uniform_schedule
+    from .compute import build_request
+
+    bindings = base.apps.universe(base.abnormal_ratio)
+    bpm = (base.bpm_range[0] + base.bpm_range[1]) / 2.0
+    bounded = min(duration_s, PROFILE_DURATION_S)
+    requests = []
+    for binding in bindings:
+        schedule = cached_uniform_schedule(
+            bounded,
+            binding.app.fs,
+            bpm=bpm,
+            abnormal_ratio=base.abnormal_ratio,
+        )
+        mode = (
+            Mode.MULTI_CORE
+            if binding.plan is None or binding.plan.multicore
+            else Mode.SINGLE_CORE
+        )
+        requests.append(build_request(binding, mode, bounded, schedule))
+    resolution = resolver.resolve(requests)
+    table = {
+        profile_key(binding, base, duration_s): resolution.table[
+            request.key
+        ]
+        .report()
+        .total_uw
+        for binding, request in zip(bindings, requests)
+    }
+    return table, resolution.summary
 
 
 __all__ = [
@@ -555,4 +619,6 @@ __all__ = [
     "hierarchy_token",
     "hop_error_samples",
     "parse_hierarchy",
+    "profile_key",
+    "profile_table",
 ]

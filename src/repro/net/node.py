@@ -29,8 +29,9 @@ from dataclasses import dataclass
 from .. import obs
 from ..apps.phases import AppSpec
 from ..power.energy import PowerReport
-from ..sysc.engine import Mode, simulate, uniform_schedule
+from ..sysc.engine import BeatEvent, Mode, cached_uniform_schedule, simulate
 from .appsource import APPS, AppBinding
+from .compute import ComputeRequest, ResolvedCompute, build_request
 from .clock import ClockSpec, LocalClock
 from .radio import Beacon, RadioEnergy, receive_beacons
 from .scenarios import Scenario
@@ -85,6 +86,10 @@ class NodeResult:
         floor_mhz: the placement's own clock requirement (0 when the
             paper default was derived inside the simulator).
         repairs: replicas trimmed to fit the platform.
+        compute_key: content-addressed key of the node's app-compute
+            work ("" when simulated inline, the legacy path).
+        compute_tier: which tier resolved it (``"exact"`` /
+            ``"analytic"``; "" when simulated inline).
     """
 
     node_id: int
@@ -105,6 +110,8 @@ class NodeResult:
     policy: str = ""
     floor_mhz: float = 0.0
     repairs: int = 0
+    compute_key: str = ""
+    compute_tier: str = ""
 
 
 def _stream(fleet_seed: int, node_id: int, stream: str) -> random.Random:
@@ -153,11 +160,36 @@ class NetworkNode:
         """The bound (possibly repaired) application spec."""
         return self.binding.app
 
+    def schedule(self) -> tuple[BeatEvent, ...]:
+        """The node's beat schedule (memoised across same-shape nodes)."""
+        return cached_uniform_schedule(
+            self.duration_s,
+            self.app.fs,
+            bpm=self.bpm,
+            abnormal_ratio=self.scenario.abnormal_ratio,
+        )
+
+    def mode(self) -> Mode:
+        """Simulator mode the node's placement calls for."""
+        plan = self.binding.plan
+        return (
+            Mode.MULTI_CORE
+            if plan is None or plan.multicore
+            else Mode.SINGLE_CORE
+        )
+
+    def compute_request(self) -> ComputeRequest:
+        """Content-address the node's app-compute work."""
+        return build_request(
+            self.binding, self.mode(), self.duration_s, self.schedule()
+        )
+
     def simulate(
         self,
         beacons: list[Beacon],
         sample_times: list[float],
         ref_readings: list[float],
+        compute: ResolvedCompute | None = None,
     ) -> NodeResult:
         """Run the node over one window.
 
@@ -167,27 +199,26 @@ class NetworkNode:
                 error is sampled.
             ref_readings: the reference clock's exact reading at each
                 sample time (``len(sample_times)`` values).
+            compute: pre-resolved app-compute entry from
+                :class:`repro.net.compute.ComputeResolver` (None =
+                simulate inline, the legacy path).  The radio, clock
+                and sync work below is always exact and per-node.
         """
-        schedule = uniform_schedule(
-            self.duration_s,
-            self.app.fs,
-            bpm=self.bpm,
-            abnormal_ratio=self.scenario.abnormal_ratio,
-        )
-        plan = self.binding.plan
-        mode = (
-            Mode.MULTI_CORE
-            if plan is None or plan.multicore
-            else Mode.SINGLE_CORE
-        )
-        result = simulate(
-            self.app,
-            mode,
-            schedule,
-            duration_s=self.duration_s,
-            num_cores=self.binding.num_cores,
-            mapping=plan,
-        )
+        if compute is None:
+            result = simulate(
+                self.app,
+                self.mode(),
+                self.schedule(),
+                duration_s=self.duration_s,
+                num_cores=self.binding.num_cores,
+                mapping=self.binding.plan,
+            )
+            power = result.power
+            compute_key = compute_tier = ""
+        else:
+            power = compute.report()
+            compute_key = compute.key
+            compute_tier = compute.tier
 
         energy = RadioEnergy()
         errors: list[float] = []
@@ -210,7 +241,6 @@ class NetworkNode:
         obs.add("net.node.simulations")
         if heard:
             obs.add("net.node.beacons_heard", heard)
-        power = result.power
         power.categories["radio"] = radio_uw
         return NodeResult(
             node_id=self.node_id,
@@ -233,6 +263,8 @@ class NetworkNode:
             policy=self.binding.policy,
             floor_mhz=self.binding.floor_mhz,
             repairs=self.binding.repairs,
+            compute_key=compute_key,
+            compute_tier=compute_tier,
         )
 
     def _sync_errors(

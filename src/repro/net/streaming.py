@@ -44,6 +44,13 @@ from pathlib import Path
 
 from .. import obs
 from ..parallel import pool_map
+from .compute import (
+    ComputeResolver,
+    ComputeSettings,
+    ComputeSummary,
+    compute_settings,
+    record_compute_counters,
+)
 from .fleet import DEFAULT_DURATION_S, DEFAULT_SEED
 from .hierarchy import (
     HierarchySpec,
@@ -55,6 +62,7 @@ from .hierarchy import (
     hierarchy_token,
     hop_error_samples,
     parse_hierarchy,
+    profile_table,
 )
 from .node import ERROR_SAMPLE_HZ
 from .radio import RadioEnergy, beacon_schedule, receive_beacons
@@ -182,6 +190,10 @@ class StreamingConfig:
             checkpointed only at the end).
         checkpoint_dir: directory of the content-addressed state
             file; ``None`` disables checkpointing.
+        compute: app-compute resolution settings; when set, the
+            source's profile universe is resolved once in the main
+            process and waves ship the resulting lookup table (None
+            = per-worker memoised simulation, the legacy path).
     """
 
     spec: HierarchySpec
@@ -189,6 +201,7 @@ class StreamingConfig:
     seed: int = DEFAULT_SEED
     wave_size: int | None = None
     checkpoint_dir: str | Path | None = None
+    compute: ComputeSettings | None = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0.0:
@@ -230,6 +243,8 @@ class HierarchyResult:
         mode: always ``"streaming"``.
         peak_rss_mb: peak resident set of this process, MiB (0 where
             :mod:`resource` is unavailable).
+        compute: compute-resolution account over the profile
+            universe (None = legacy per-worker memoisation).
     """
 
     spec: HierarchySpec
@@ -251,6 +266,7 @@ class HierarchyResult:
     workers: int
     mode: str
     peak_rss_mb: float
+    compute: ComputeSummary | None = None
 
 
 def _peak_rss_mb() -> float:
@@ -278,6 +294,7 @@ def _walk(
     sample_times: list[float],
     steady_index: int,
     parts: list[_TierState],
+    profiles: dict[tuple, float] | None = None,
 ) -> None:
     """Simulate one member and, depth-first, everything under it."""
     tier = spec.tiers[tier_index]
@@ -303,7 +320,9 @@ def _walk(
 
     part = parts[tier_index]
     part.nodes += 1
-    part.power_sum_uw += binding_power_uw(binding, spec.base, duration_s)
+    part.power_sum_uw += binding_power_uw(
+        binding, spec.base, duration_s, profiles
+    )
     part.power_sum_uw += radio_uw
     part.radio_sum_uw += radio_uw
     part.floor_sum_mhz += binding.floor_mhz
@@ -329,6 +348,7 @@ def _walk(
                 sample_times,
                 steady_index,
                 parts,
+                profiles,
             )
 
 
@@ -347,6 +367,7 @@ def _simulate_subtree(payload: tuple) -> list[_TierState]:
         sample_times,
         root_readings,
         steady_index,
+        profiles,
     ) = payload
     parts = [_TierState() for _ in spec.tiers]
     _walk(
@@ -362,6 +383,7 @@ def _simulate_subtree(payload: tuple) -> list[_TierState]:
         sample_times,
         steady_index,
         parts,
+        profiles,
     )
     return parts
 
@@ -479,6 +501,16 @@ class StreamingRunner:
             n_samples,
         )
 
+        profiles = None
+        profile_summary = None
+        if config.compute is not None:
+            # Resolved once, in the main process, from the source's
+            # closed binding universe — workers only ever look up.
+            with obs.span("net.compute.resolve"):
+                profiles, profile_summary = profile_table(
+                    spec.base, duration_s, ComputeResolver(config.compute)
+                )
+
         subtrees = spec.subtrees
         wave_size = config.wave_size or max(subtrees, 1)
         waves = -(-subtrees // wave_size) if subtrees else 0
@@ -524,6 +556,7 @@ class StreamingRunner:
                     sample_times,
                     root_readings,
                     steady_index,
+                    profiles,
                 )
                 for index in range(done, done + count)
             ]
@@ -543,12 +576,17 @@ class StreamingRunner:
                 with obs.span("net.stream.checkpoint.write"):
                     self._write(checkpoint, token, done, state, delta)
         elapsed = run_span.stop()
+        if profile_summary is not None:
+            # Emitted once, after the final checkpoint write, so the
+            # persisted delta never contains it: cold, killed and
+            # resumed runs all end up with exactly one emission.
+            record_compute_counters(profile_summary)
 
         root_energy = RadioEnergy()
         root_energy.tx_messages = len(beacons)
         root_radio_uw = root_energy.average_uw(spec.base.radio, duration_s)
         root_power_uw = (
-            binding_power_uw(root_binding, spec.base, duration_s)
+            binding_power_uw(root_binding, spec.base, duration_s, profiles)
             + root_radio_uw
         )
 
@@ -640,6 +678,7 @@ class StreamingRunner:
             workers=workers,
             mode="streaming",
             peak_rss_mb=_peak_rss_mb(),
+            compute=profile_summary,
         )
 
 
@@ -651,8 +690,18 @@ def run_streaming(
     wave_size: int | None = None,
     checkpoint_dir: str | Path | None = None,
     max_waves: int | None = None,
+    compute: str | ComputeSettings | None = None,
+    compute_cache: str | None = None,
 ) -> HierarchyResult:
-    """One-call streaming run of a hierarchy token, preset or spec."""
+    """One-call streaming run of a hierarchy token, preset or spec.
+
+    ``compute`` / ``compute_cache`` mirror
+    :func:`repro.net.fleet.run_fleet`: None keeps the legacy
+    per-worker profile memo, ``"exact"`` resolves the same profiles
+    through the shared compute cache (byte-identical results), and
+    ``"analytic"`` additionally screens them through the calibrated
+    closed-form model.
+    """
     if isinstance(tiers, HierarchySpec):
         spec = tiers
     else:
@@ -663,5 +712,6 @@ def run_streaming(
         seed=seed,
         wave_size=wave_size,
         checkpoint_dir=checkpoint_dir,
+        compute=compute_settings(compute, compute_cache),
     )
     return StreamingRunner(config).run(workers=workers, max_waves=max_waves)

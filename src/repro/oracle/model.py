@@ -28,6 +28,7 @@ processes and ``PYTHONHASHSEED`` values.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -35,8 +36,9 @@ from ..apps.mapping import distinct_sections
 from ..apps.phases import AppSpec, Trigger
 from ..isa.layout import DmGeometry, ImGeometry
 from ..power.components import DEFAULT_ENERGY, EnergyParams
+from ..power.energy import PowerReport
 from ..power.process import DEFAULT_PROCESS, ProcessModel
-from ..power.vfs import MIN_SYSTEM_CLOCK_MHZ
+from ..power.vfs import MIN_SYSTEM_CLOCK_MHZ, OperatingPoint
 from ..search.cost import (
     COMPOSITE_CLOCK_WEIGHT_UW_PER_MHZ,
     ORACLE_ABNORMAL_RATIO,
@@ -44,7 +46,11 @@ from ..search.cost import (
     ORACLE_KINDS,
 )
 from ..search.space import Candidate
-from ..sysc.engine import SYNC_WRITE_FRACTION, uniform_schedule
+from ..sysc.engine import (
+    SYNC_WRITE_FRACTION,
+    BeatEvent,
+    uniform_schedule,
+)
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,12 @@ class PopulationScores:
             (placement-independent, one scalar for the population).
         active_cores: distinct cores per candidate.
         im_banks: distinct IM banks per candidate.
+        run_s: exact simulated span (``ticks / fs``) the power figures
+            average over — the duration a matching ``simulate()`` run
+            reports on its :class:`~repro.power.energy.PowerReport`.
+        categories_uw: per-category power arrays in
+            ``compute_power``'s category order (one array per
+            category, one entry per candidate).
     """
 
     kind: str
@@ -77,9 +89,28 @@ class PopulationScores:
     code_overhead: float
     active_cores: np.ndarray
     im_banks: np.ndarray
+    run_s: float = 0.0
+    categories_uw: dict[str, np.ndarray] | None = None
 
     def __len__(self) -> int:
         return len(self.cost)
+
+    def power_report(self, index: int) -> PowerReport:
+        """The exact-oracle-shaped power report of one candidate.
+
+        Categories come out in ``compute_power``'s insertion order, so
+        ``total_uw`` sums in the same float order as the exact path.
+        """
+        if self.categories_uw is None:
+            raise ValueError("population was scored without categories")
+        return PowerReport(
+            operating_point=OperatingPoint(
+                frequency_mhz=float(self.clock_mhz[index]),
+                voltage=float(self.voltage[index])),
+            duration_s=self.run_s,
+            categories={name: float(values[index])
+                        for name, values in self.categories_uw.items()},
+        )
 
     def metrics(self, index: int) -> dict:
         """The metric mapping of one candidate (exact-oracle shape)."""
@@ -145,6 +176,10 @@ class AnalyticModel:
         process: VFS process model.
         abnormal_ratio: pathological-beat ratio applied when the app
             has triggered phases (the exact oracle's convention).
+        schedule: explicit beat schedule to reduce instead of the
+            synthesised uniform one — fleet nodes carry their own
+            bpm-specific schedules; only the abnormal beats matter to
+            the reduction, exactly as in ``simulate()``.
 
     Raises:
         ValueError: unknown cost kind or non-positive duration.
@@ -157,7 +192,8 @@ class AnalyticModel:
                  floor_mhz: float = MIN_SYSTEM_CLOCK_MHZ,
                  energy: EnergyParams = DEFAULT_ENERGY,
                  process: ProcessModel = DEFAULT_PROCESS,
-                 abnormal_ratio: float = ORACLE_ABNORMAL_RATIO) -> None:
+                 abnormal_ratio: float = ORACLE_ABNORMAL_RATIO,
+                 schedule: "Sequence[BeatEvent] | None" = None) -> None:
         if kind not in ORACLE_KINDS:
             raise ValueError(
                 f"unknown cost oracle {kind!r}; choose from "
@@ -187,10 +223,12 @@ class AnalyticModel:
         self._section_names = tuple(sorted(
             section.name for section in distinct_sections(app)))
 
-        has_triggered = any(phase.trigger is Trigger.ON_ABNORMAL
-                            for phase in app.phases)
-        ratio = abnormal_ratio if has_triggered else 0.0
-        schedule = uniform_schedule(duration_s, fs, abnormal_ratio=ratio)
+        if schedule is None:
+            has_triggered = any(phase.trigger is Trigger.ON_ABNORMAL
+                                for phase in app.phases)
+            ratio = abnormal_ratio if has_triggered else 0.0
+            schedule = uniform_schedule(duration_s, fs,
+                                        abnormal_ratio=ratio)
         beats_by_tick: dict[int, int] = {}
         for event in schedule:
             if event.abnormal and 0 <= event.sample < self.ticks:
@@ -413,6 +451,18 @@ class AnalyticModel:
             + self._dm_banks_on * params.leak_dm_bank_uw
             + active_cores * params.leak_core_uw
             + params.leak_xbar_uw)
+        # Per-category arrays in compute_power's insertion order, so a
+        # report rebuilt from them sums total_uw in the same float
+        # order as the exact path.
+        categories_uw = {
+            "cores_logic": to_uw(cores_pj),
+            "clock_tree": to_uw(clock_pj),
+            "instr_mem": to_uw(im_pj),
+            "data_mem": to_uw(dm_pj),
+            "interconnect": to_uw(xbar_pj),
+            "synchronizer": to_uw(sync_pj),
+            "leakage": np.asarray(leakage_uw),
+        }
         power_uw = (to_uw(cores_pj) + to_uw(clock_pj) + to_uw(im_pj)
                     + to_uw(dm_pj) + to_uw(xbar_pj) + to_uw(sync_pj)
                     + leakage_uw)
@@ -443,6 +493,8 @@ class AnalyticModel:
             code_overhead=self._code_overhead,
             active_cores=active_cores,
             im_banks=im_banks,
+            run_s=self._run_s,
+            categories_uw=categories_uw,
         )
 
     def score_one(self, candidate: Candidate) -> float:

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
 
 from .. import obs
 from ..apps.mapping import (
@@ -105,6 +107,23 @@ def uniform_schedule(duration_s: float, fs: float, bpm: float = 72.0,
     return events
 
 
+@lru_cache(maxsize=4096)
+def cached_uniform_schedule(duration_s: float, fs: float,
+                            bpm: float = 72.0,
+                            abnormal_ratio: float = 0.0
+                            ) -> tuple[BeatEvent, ...]:
+    """Memoised :func:`uniform_schedule` (immutable tuple form).
+
+    Fleets rebuild identical schedules for every node that shares a
+    ``(duration, fs, bpm, abnormal_ratio)`` shape; this caches the
+    construction per process.  The result is a tuple of frozen
+    :class:`BeatEvent` values, so sharing one schedule across nodes
+    (and threads) is safe — ``simulate()`` only ever reads it.
+    """
+    return tuple(uniform_schedule(duration_s, fs, bpm=bpm,
+                                  abnormal_ratio=abnormal_ratio))
+
+
 @dataclass
 class SimulationResult:
     """Everything one (application, mode) simulation produces.
@@ -167,7 +186,7 @@ class _CoreState:
 
 
 def _required_clock_mhz(app: AppSpec, mode: Mode,
-                        schedule: list[BeatEvent],
+                        schedule: Sequence[BeatEvent],
                         duration_s: float,
                         mapping: MappingPlan) -> float:
     """Sizing step of Sec. V-A: the minimum clock for real time."""
@@ -185,7 +204,7 @@ def _required_clock_mhz(app: AppSpec, mode: Mode,
     return plan_required_mhz(mapping, with_sync=mode is Mode.MULTI_CORE)
 
 
-def simulate(app: AppSpec, mode: Mode, schedule: list[BeatEvent],
+def simulate(app: AppSpec, mode: Mode, schedule: Sequence[BeatEvent],
              duration_s: float = 60.0, num_cores: int = 8,
              energy: EnergyParams = DEFAULT_ENERGY,
              process: ProcessModel = DEFAULT_PROCESS,

@@ -1,0 +1,380 @@
+"""Compute fast-path tests: keys, cache tiers, byte-determinism.
+
+The resolver's contract has three load-bearing halves, each pinned
+here: the exact tier is *byte-identical* to the legacy inline path
+(golden artifacts captured before the resolver landed), the analytic
+tier agrees with exact simulation to calibration accuracy on every
+scenario preset, and every artifact is deterministic across hash
+seeds, worker counts, cache temperature and kill-and-resume.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.net.compute import (
+    COMPUTE_CACHE_ENV,
+    COMPUTE_ENTRY_SCHEMA,
+    ComputeCache,
+    ComputeResolver,
+    ComputeSettings,
+    ComputeSummary,
+    clear_process_caches,
+    compute_settings,
+    report_from_payload,
+    schedule_signature,
+)
+from repro.net.fleet import run_fleet
+from repro.net.node import build_node
+from repro.net.scenarios import SCENARIOS, get_scenario, parse_scenario
+from repro.net.streaming import run_streaming
+from repro.power.energy import PowerReport
+from repro.power.vfs import OperatingPoint
+from repro.sysc.engine import (
+    BeatEvent,
+    cached_uniform_schedule,
+    uniform_schedule,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+GOLDEN = Path(__file__).parent / "golden"
+
+#: Heterogeneous scenario token shared by several tests.
+GEN = "gen:drifting-wearables:1:8:balanced"
+
+
+def _subprocess_env(**overrides):
+    """Env for CLI subprocesses: src importable, no disk cache."""
+    env = dict(os.environ)
+    env.pop(COMPUTE_CACHE_ENV, None)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
+    env.update(overrides)
+    return env
+
+
+def _eval_net(args, tmp_path, name, **env_overrides):
+    """Run ``python -m repro.eval net`` writing a JSON artifact."""
+    out = tmp_path / name
+    subprocess.run(
+        [sys.executable, "-m", "repro.eval", "net", *args,
+         "--json", str(out)],
+        check=True, cwd=tmp_path, env=_subprocess_env(**env_overrides),
+        stdout=subprocess.DEVNULL)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Schedule memo + signature
+# ---------------------------------------------------------------------------
+
+def test_cached_uniform_schedule_memoises_per_shape():
+    cached_uniform_schedule.cache_clear()
+    a = cached_uniform_schedule(2.0, 250.0, 72.0, 0.25)
+    b = cached_uniform_schedule(2.0, 250.0, 72.0, 0.25)
+    assert a is b  # same object, not merely equal
+    assert a == tuple(uniform_schedule(2.0, 250.0, bpm=72.0,
+                                       abnormal_ratio=0.25))
+    c = cached_uniform_schedule(2.0, 250.0, 80.0, 0.25)
+    assert c is not a
+    cached_uniform_schedule.cache_clear()
+    d = cached_uniform_schedule(2.0, 250.0, 72.0, 0.25)
+    assert d is not a and d == a
+
+
+def test_schedule_signature_reads_what_simulate_reads():
+    schedule = [
+        BeatEvent(sample=5, abnormal=True),
+        BeatEvent(sample=12, abnormal=False),   # normal: invisible
+        BeatEvent(sample=90, abnormal=True),    # beyond ticks: counted
+        BeatEvent(sample=40, abnormal=True),
+    ]
+    assert schedule_signature(schedule, 80) == [80, 3, [5, 40]]
+    # Normal beats never influence the signature at all.
+    padded = schedule + [BeatEvent(sample=7, abnormal=False)]
+    assert schedule_signature(padded, 80) == \
+        schedule_signature(schedule, 80)
+    # Zero-ratio fleets collapse onto one signature per shape.
+    assert schedule_signature(
+        uniform_schedule(2.0, 250.0, bpm=60.0), 500) == [500, 0, []]
+
+
+def test_compute_request_key_is_content_addressed():
+    node_a = build_node(get_scenario("dense-ward"), 1, 3, 4.0)
+    node_b = build_node(get_scenario("dense-ward"), 1, 3, 4.0)
+    assert node_a.compute_request().key == node_b.compute_request().key
+    longer = build_node(get_scenario("dense-ward"), 1, 3, 8.0)
+    assert longer.compute_request().key != node_a.compute_request().key
+
+
+# ---------------------------------------------------------------------------
+# Exact tier == legacy inline path
+# ---------------------------------------------------------------------------
+
+def _strip_provenance(nodes):
+    return tuple(replace(node, compute_key="", compute_tier="")
+                 for node in nodes)
+
+
+def test_exact_resolver_matches_legacy_inline():
+    clear_process_caches()
+    legacy = run_fleet("dense-ward", n_nodes=6, duration_s=2.0)
+    exact = run_fleet("dense-ward", n_nodes=6, duration_s=2.0,
+                      compute="exact")
+    assert legacy.compute is None
+    assert exact.compute is not None and exact.compute.mode == "exact"
+    assert exact.summary == legacy.summary
+    assert _strip_provenance(exact.nodes) == legacy.nodes
+    assert all(node.compute_tier == "exact" and node.compute_key
+               for node in exact.nodes)
+    assert all(node.compute_key == "" and node.compute_tier == ""
+               for node in legacy.nodes)
+
+
+def test_streaming_exact_resolver_matches_legacy():
+    token = "tiers:ftsp@4x10/rbs@2x10:dense-ward"
+    clear_process_caches()
+    legacy = run_streaming(token, duration_s=2.0, seed=1)
+    exact = run_streaming(token, duration_s=2.0, seed=1,
+                          compute="exact")
+    assert legacy.compute is None
+    assert exact.compute is not None
+    assert exact.summary == legacy.summary
+    assert exact.tiers == legacy.tiers
+
+
+# ---------------------------------------------------------------------------
+# Analytic tier: parity with exact simulation on every preset
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("preset", sorted(SCENARIOS))
+def test_analytic_parity_on_preset(preset):
+    clear_process_caches()
+    exact = run_fleet(preset, n_nodes=6, duration_s=2.0,
+                      compute="exact")
+    clear_process_caches()  # force the analytic tier to do real work
+    analytic = run_fleet(preset, n_nodes=6, duration_s=2.0,
+                         compute="analytic")
+    summary = analytic.compute
+    assert summary.mode == "analytic"
+    assert summary.calibration is not None
+    assert summary.calibration["within"] is True
+    assert summary.screened > 0
+    assert summary.screened + summary.exact == summary.requests
+    # The radio/clock/sync half is shared verbatim.
+    assert analytic.summary.sync == exact.summary.sync
+    assert analytic.summary.steady_sync == exact.summary.steady_sync
+    assert analytic.summary.unsync == exact.summary.unsync
+    assert analytic.summary.beacons_heard == exact.summary.beacons_heard
+    # Power agrees to calibration accuracy (closed-form vs RTL walk).
+    assert analytic.summary.mean_power_uw == pytest.approx(
+        exact.summary.mean_power_uw, rel=1e-9)
+    for a, b in zip(analytic.nodes, exact.nodes):
+        assert a.power.total_uw == pytest.approx(b.power.total_uw,
+                                                 rel=1e-9)
+
+
+def test_analytic_worker_count_determinism():
+    clear_process_caches()
+    serial = run_fleet(GEN, n_nodes=10, duration_s=2.0,
+                       compute="analytic", workers=1)
+    parallel = run_fleet(GEN, n_nodes=10, duration_s=2.0,
+                         compute="analytic", workers=3)
+    assert parallel.mode == "parallel"
+    assert parallel.summary == serial.summary
+    assert parallel.nodes == serial.nodes
+    assert parallel.compute == serial.compute
+
+
+# ---------------------------------------------------------------------------
+# Logical counters + cache temperature independence
+# ---------------------------------------------------------------------------
+
+def test_summary_counters_are_logical():
+    summary = ComputeSummary(mode="analytic", requests=24,
+                             distinct_keys=9, screened=20, exact=4)
+    assert summary.cache_hits == 15
+    assert summary.cache_misses == 9
+    assert summary.cache_stores == 9
+    block = summary.to_mapping()
+    assert block["cache"] == {"hits": 15, "misses": 9, "stores": 9}
+    assert "calibration" not in block
+
+
+def test_resolver_summary_identical_cold_and_warm():
+    scenario = get_scenario("dense-ward")
+    requests = [
+        build_node(scenario, node_id, 3, 2.0).compute_request()
+        for node_id in range(6)
+    ]
+    clear_process_caches()
+    resolver = ComputeResolver(ComputeSettings(mode="exact"))
+    cold = resolver.resolve(requests)
+    warm = resolver.resolve(requests)  # memo now serves every key
+    assert warm.summary == cold.summary
+    for key, entry in cold.table.items():
+        assert warm.table[key].payload == entry.payload
+
+
+def test_disk_cache_cold_vs_warm_nodes_identical(tmp_path, monkeypatch):
+    monkeypatch.setenv(COMPUTE_CACHE_ENV, str(tmp_path))
+    clear_process_caches()
+    cold = run_fleet(GEN, n_nodes=8, duration_s=2.0,
+                     compute="analytic")
+    assert list(tmp_path.rglob("*.json"))  # disk layer engaged
+    clear_process_caches()  # second run must be served from disk
+    warm = run_fleet(GEN, n_nodes=8, duration_s=2.0,
+                     compute="analytic")
+    assert warm.summary == cold.summary
+    assert warm.nodes == cold.nodes
+    assert warm.compute == cold.compute
+
+
+# ---------------------------------------------------------------------------
+# ComputeCache mechanics
+# ---------------------------------------------------------------------------
+
+def _entry_payload():
+    report = PowerReport(
+        operating_point=OperatingPoint(frequency_mhz=12.0, voltage=1.0),
+        duration_s=2.0,
+        categories={"cores_logic": 10.0, "leakage": 1.5},
+    )
+    return {
+        "schema": COMPUTE_ENTRY_SCHEMA,
+        "tier": "exact",
+        "frequency_mhz": report.operating_point.frequency_mhz,
+        "voltage": report.operating_point.voltage,
+        "duration_s": report.duration_s,
+        "categories": dict(report.categories),
+    }
+
+
+def test_cache_roundtrip_and_corrupt_entries(tmp_path):
+    cache = ComputeCache(tmp_path)
+    key = "ab" + "0" * 38
+    cache.put(key, _entry_payload())
+    clear_process_caches()  # force the disk read
+    assert ComputeCache(tmp_path).get(key) == _entry_payload()
+    # Corrupt bytes and foreign schemas both read as misses.
+    path = cache._path(key)
+    path.write_text("{not json", encoding="utf-8")
+    clear_process_caches()
+    assert ComputeCache(tmp_path).get(key) is None
+    path.write_text(json.dumps({"schema": "other/1"}), encoding="utf-8")
+    clear_process_caches()
+    assert ComputeCache(tmp_path).get(key) is None
+
+
+def test_cache_root_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv(COMPUTE_CACHE_ENV, str(tmp_path))
+    assert ComputeCache(None).root == tmp_path
+    monkeypatch.delenv(COMPUTE_CACHE_ENV)
+    assert ComputeCache(None).root is None
+    assert ComputeCache(tmp_path / "explicit").root == \
+        tmp_path / "explicit"
+
+
+def test_report_rebuilds_in_canonical_category_order():
+    payload = _entry_payload()
+    # A JSON round trip with sort_keys scrambles insertion order.
+    scrambled = json.loads(json.dumps(payload, sort_keys=True))
+    scrambled["categories"]["radio"] = 3.25  # unknown extra category
+    report = report_from_payload(scrambled)
+    assert list(report.categories) == ["cores_logic", "leakage",
+                                       "radio"]
+    assert report.total_uw == 10.0 + 1.5 + 3.25
+
+
+def test_compute_settings_normalisation():
+    assert compute_settings(None) is None
+    settings = compute_settings("analytic", "/tmp/x")
+    assert settings == ComputeSettings(mode="analytic",
+                                       cache_dir="/tmp/x")
+    assert compute_settings(settings) is settings
+    with pytest.raises(ValueError):
+        compute_settings("fuzzy")
+
+
+# ---------------------------------------------------------------------------
+# Universe enumeration (the closed set streaming pre-resolves)
+# ---------------------------------------------------------------------------
+
+def test_benchmark_universe_covers_the_mix():
+    scenario = get_scenario("dense-ward")
+    universe = scenario.apps.universe(scenario.abnormal_ratio)
+    names = [binding.app.name for binding in universe]
+    assert names == list(dict.fromkeys(
+        name for name, _ in scenario.apps.mix))
+    assert all(binding.app_key for binding in universe)
+
+
+def test_generated_universe_covers_every_fleet_binding():
+    scenario = parse_scenario(GEN)
+    universe = scenario.apps.universe(scenario.abnormal_ratio)
+    tokens = {binding.token for binding in universe}
+    result = run_fleet(GEN, n_nodes=12, duration_s=2.0)
+    assert {node.token for node in result.nodes
+            if node.node_id != 0} <= tokens
+
+
+# ---------------------------------------------------------------------------
+# Byte-determinism of the CLI artifacts
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("args, golden", [
+    (["--scenario", "dense-ward", "--nodes", "8", "--duration", "2"],
+     "net_v1_dense-ward_n8_d2.json"),
+    (["--suite-seed", "7", "--suite-count", "12", "--policy",
+      "balanced", "--nodes", "10", "--duration", "4"],
+     "net_v2_suite7_n10_d4.json"),
+    (["--tiers", "ward-campus", "--duration", "4"],
+     "net_v3_ward-campus_d4.json"),
+])
+def test_exact_mode_artifact_matches_pre_resolver_golden(
+        args, golden, tmp_path):
+    """Default ``--compute exact`` must reproduce the pre-PR bytes."""
+    out = _eval_net(args, tmp_path, "artifact.json")
+    assert out.read_bytes() == (GOLDEN / golden).read_bytes()
+
+
+def test_analytic_artifact_stable_across_hash_seeds(tmp_path):
+    args = ["--scenario", "dense-ward", "--nodes", "6",
+            "--duration", "2", "--compute", "analytic"]
+    a = _eval_net(args, tmp_path, "a.json", PYTHONHASHSEED="1")
+    b = _eval_net(args, tmp_path, "b.json", PYTHONHASHSEED="42")
+    assert a.read_bytes() == b.read_bytes()
+    payload = json.loads(a.read_text(encoding="utf-8"))
+    block = payload["compute_summary"]
+    assert block["mode"] == "analytic"
+    assert block["calibration"]["within"] is True
+    assert block["cache"]["hits"] == \
+        block["requests"] - block["distinct_keys"]
+
+
+def test_analytic_streaming_kill_and_resume_byte_identical(tmp_path):
+    token = "tiers:ftsp@4x10/rbs@2x10:dense-ward"
+    base = ["--tiers", token, "--duration", "2", "--wave", "2",
+            "--compute", "analytic"]
+    ckpt = tmp_path / "ckpt"
+    interrupted = tmp_path / "resumed.json"
+    subprocess.run(
+        [sys.executable, "-m", "repro.eval", "net", *base,
+         "--checkpoint-dir", str(ckpt), "--max-waves", "1",
+         "--json", str(interrupted)],
+        check=True, cwd=tmp_path, env=_subprocess_env(),
+        stdout=subprocess.DEVNULL)
+    assert not interrupted.exists()  # incomplete runs write nothing
+    resumed = _eval_net(
+        base + ["--checkpoint-dir", str(ckpt)], tmp_path,
+        "resumed.json")
+    cold = _eval_net(base, tmp_path, "cold.json")
+    assert resumed.read_bytes() == cold.read_bytes()
